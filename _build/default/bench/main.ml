@@ -1,0 +1,147 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Promise.Report), then runs Bechamel
+   micro-benchmarks over the building blocks — one group per
+   table/figure so the wall-clock cost of each reproduction path is
+   also measured. *)
+
+module P = Promise
+module Dsl = P.Ir.Dsl
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let template_task =
+  P.Isa.Task.make ~rpt_num:126 ~multi_bank:2
+    ~class1:P.Isa.Opcode.C1_asubt
+    ~class2:{ P.Isa.Opcode.asd = P.Isa.Opcode.Asd_absolute; avd = true }
+    ~class3:P.Isa.Opcode.C3_adc ~class4:P.Isa.Opcode.C4_min ()
+
+let template_asm = P.Isa.Asm.print_task template_task
+let template_bits = P.Isa.Encode.to_int template_task
+
+let tm_kernel =
+  Dsl.kernel ~name:"tm"
+    ~decls:
+      [
+        Dsl.matrix "W" ~rows:64 ~cols:256;
+        Dsl.vector "x" ~len:256;
+        Dsl.out_vector "out" ~len:64;
+      ]
+    [
+      Dsl.for_store ~iterations:64 ~out:"out" (Dsl.l1_distance "W" "x");
+      Dsl.argmin "out";
+    ]
+
+let tm_graph =
+  match P.compile tm_kernel with Ok g -> g | Error e -> failwith e
+
+let bench_machine = P.Arch.Machine.create P.Arch.Machine.default_config
+
+let bench_bank_iteration =
+  let bank = P.Arch.Machine.bank bench_machine 0 in
+  let task =
+    P.Isa.Task.make ~class1:P.Isa.Opcode.C1_aread
+      ~class2:{ P.Isa.Opcode.asd = P.Isa.Opcode.Asd_sign_mult; avd = true }
+      ~class3:P.Isa.Opcode.C3_adc ~class4:P.Isa.Opcode.C4_accumulate ()
+  in
+  fun () ->
+    P.Arch.Bank.run_iteration bank ~task ~iteration:0 ~active_lanes:128
+      ~adc_gain:8.0
+
+let tm_rng = P.Analog.Rng.create 99
+
+let tm_data =
+  let candidates =
+    Array.init 64 (fun _ ->
+        Array.init 256 (fun _ -> P.Analog.Rng.uniform tm_rng ~lo:(-0.9) ~hi:0.9))
+  in
+  let x =
+    Array.init 256 (fun _ -> P.Analog.Rng.uniform tm_rng ~lo:(-0.9) ~hi:0.9)
+  in
+  (candidates, x)
+
+let run_tm_once machine =
+  let candidates, x = tm_data in
+  let b = P.Compiler.Runtime.bindings () in
+  P.Compiler.Runtime.bind_matrix b "W" candidates;
+  P.Compiler.Runtime.bind_vector b "x" x;
+  match P.Compiler.Runtime.run ~machine tm_graph b with
+  | Ok r -> r
+  | Error e -> failwith e
+
+let tm_silicon_machine =
+  P.Arch.Machine.create
+    { P.Arch.Machine.banks = 2; profile = P.Arch.Bank.Silicon; noise_seed = Some 5 }
+
+let micro_tests =
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* figure 5: ISA paths *)
+    t "isa/encode" (fun () -> P.Isa.Encode.to_int template_task);
+    t "isa/decode" (fun () -> P.Isa.Encode.of_int template_bits);
+    t "isa/asm-print" (fun () -> P.Isa.Asm.print_task template_task);
+    t "isa/asm-parse" (fun () -> P.Isa.Asm.parse_task template_asm);
+    (* fig 10/11: the simulator inner loops *)
+    t "arch/bank-iteration-128" bench_bank_iteration;
+    t "arch/tm-decision" (fun () -> run_tm_once tm_silicon_machine);
+    (* fig 12: compiler paths *)
+    t "compiler/frontend+match" (fun () -> P.compile tm_kernel);
+    t "compiler/codegen" (fun () -> P.Compiler.Pipeline.codegen tm_graph);
+    t "compiler/eq3-swing" (fun () ->
+        P.Compiler.Swing_opt.min_swing_for ~bits:4 ~n:784);
+    (* energy model evaluation *)
+    t "energy/task-energy" (fun () -> P.Energy.Model.task_energy template_task);
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Format.fprintf ppf "@.== Bechamel micro-benchmarks ==@.";
+  Format.fprintf ppf "   (ns per run, OLS estimate over the monotonic clock)@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name est ->
+          Format.fprintf ppf "   %-32s %12.1f ns/run@." name
+            (Analyze.OLS.estimates est
+            |> Option.map (function v :: _ -> v | [] -> nan)
+            |> Option.value ~default:nan))
+        analyzed)
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  Format.fprintf ppf
+    "PROMISE reproduction harness - every table and figure of the \
+     evaluation@.";
+  (match args with
+  | [] -> P.Report.all ppf
+  | [ "--quick" ] -> P.Report.quick ppf
+  | names ->
+      List.iter
+        (fun name ->
+          match
+            List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
+          with
+          | Some (_, _, f) -> f ppf
+          | None ->
+              Format.fprintf ppf "unknown section %S; available: %s@." name
+                (String.concat ", "
+                   (List.map (fun (n, _, _) -> n) P.Report.sections)))
+        names);
+  run_micro ();
+  Format.fprintf ppf "@.done.@."

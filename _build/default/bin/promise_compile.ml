@@ -1,0 +1,82 @@
+(* promise-compile: compile an S-expression kernel file to PROMISE
+   assembly or binary (the textual path through the language-neutral
+   IR; see lib/ir/sexp_frontend.mli for the grammar).
+
+   Usage:
+     promise_compile kernel.sexp                 # assembly to stdout
+     promise_compile kernel.sexp --binary out.bin
+     promise_compile kernel.sexp --ir            # dump the IR graph
+     promise_compile kernel.sexp --swing 3       # force a swing code *)
+
+module P = Promise
+
+let die msg =
+  prerr_endline ("promise-compile: " ^ msg);
+  exit 1
+
+let run path binary show_ir swing =
+  let kernel =
+    match P.Ir.Sexp_frontend.parse_file path with
+    | Ok k -> k
+    | Error msg -> die msg
+  in
+  let graph =
+    match P.compile kernel with Ok g -> g | Error msg -> die msg
+  in
+  let graph =
+    match swing with
+    | None -> graph
+    | Some s ->
+        P.Ir.Graph.map_tasks graph (fun _ t ->
+            P.Ir.Abstract_task.with_swing t s)
+  in
+  if show_ir then Format.printf "%a@." P.Ir.Graph.pp graph;
+  let program =
+    match P.Compiler.Pipeline.codegen graph with
+    | Ok p -> p
+    | Error msg -> die msg
+  in
+  (match binary with
+  | Some out ->
+      let oc = open_out_bin out in
+      output_bytes oc (P.Isa.Program.to_binary program);
+      close_out oc;
+      Printf.printf "wrote %d task(s), %d bytes to %s\n"
+        (P.Isa.Program.length program)
+        (Bytes.length (P.Isa.Program.to_binary program))
+        out
+  | None -> print_string (P.Isa.Program.to_asm program));
+  `Ok ()
+
+open Cmdliner
+
+let path_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"KERNEL" ~doc:"S-expression kernel file.")
+
+let binary_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "binary" ] ~docv:"OUT" ~doc:"Write binary Tasks to $(docv).")
+
+let ir_arg =
+  Arg.(value & flag & info [ "ir" ] ~doc:"Dump the AbstractTask IR graph.")
+
+let swing_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "swing" ] ~docv:"N" ~doc:"Force SWING code 0-7 on every task.")
+
+let () =
+  let info =
+    Cmd.info "promise-compile" ~version:Promise.version
+      ~doc:"compile an S-expression kernel to the PROMISE ISA"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(ret (const run $ path_arg $ binary_arg $ ir_arg $ swing_arg))))

@@ -1,0 +1,43 @@
+(* promise-report: regenerate the paper's tables and figures as text
+   (the same sections the bench harness prints).
+
+   Usage: promise_report [--quick] [SECTION ...] *)
+
+module P = Promise
+open Cmdliner
+
+let run quick sections =
+  let ppf = Format.std_formatter in
+  (match (quick, sections) with
+  | true, _ -> P.Report.quick ppf
+  | false, [] -> P.Report.all ppf
+  | false, names ->
+      List.iter
+        (fun name ->
+          match
+            List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
+          with
+          | Some (_, _, f) -> f ppf
+          | None ->
+              Format.fprintf ppf "unknown section %S; available: %s@." name
+                (String.concat ", "
+                   (List.map (fun (n, _, _) -> n) P.Report.sections)))
+        names);
+  `Ok ()
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Skip the slow sections (fig12, table2, soa_dnn).")
+
+let sections_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"SECTION"
+         ~doc:"Sections to print (default: all).")
+
+let () =
+  let info =
+    Cmd.info "promise-report" ~version:P.version
+      ~doc:"regenerate the paper's evaluation tables and figures"
+  in
+  exit
+    (Cmd.eval (Cmd.v info Term.(ret (const run $ quick_arg $ sections_arg))))

@@ -1,0 +1,1 @@
+examples/digit_dnn.ml: Array Format List Printf Promise String

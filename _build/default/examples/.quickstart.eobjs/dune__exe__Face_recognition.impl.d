@@ -1,0 +1,1 @@
+examples/face_recognition.ml: Format List Printf Promise

@@ -1,0 +1,1 @@
+examples/face_recognition.mli:

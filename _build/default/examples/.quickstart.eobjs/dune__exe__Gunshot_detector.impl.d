@@ -1,0 +1,1 @@
+examples/gunshot_detector.ml: Array List Printf Promise

@@ -1,0 +1,1 @@
+examples/gunshot_detector.mli:

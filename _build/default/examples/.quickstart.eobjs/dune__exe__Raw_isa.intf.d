@@ -1,0 +1,1 @@
+examples/raw_isa.mli:

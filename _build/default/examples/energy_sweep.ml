@@ -1,0 +1,35 @@
+(* The accuracy-vs-energy knob, explicitly: sweep all eight SWING codes
+   on the k-NN benchmark and print the trade-off curve the compiler's
+   brute-force optimizer searches (paper §4.4, Figure 12).
+
+     dune exec examples/energy_sweep.exe *)
+
+module P = Promise
+module B = P.Benchmarks
+module Model = P.Energy.Model
+module Swing = P.Analog.Swing
+
+let () =
+  let b = B.knn_l1 () in
+  Printf.printf "benchmark: %s (reference accuracy %.3f)\n" b.B.name
+    b.B.reference_accuracy;
+  Printf.printf "%-6s %-12s %-10s %-12s %-10s\n" "swing" "deltaV(mV)"
+    "accuracy" "energy(nJ)" "vs max";
+  let e_max = Model.total (B.promise_energy b ~swings:[ 7 ]) in
+  List.iter
+    (fun swing ->
+      let e = b.B.evaluate ~swings:[ swing ] () in
+      let energy = Model.total (B.promise_energy b ~swings:[ swing ]) in
+      Printf.printf "%-6d %-12.1f %-10.3f %-12.1f %-10.2f\n" swing
+        (Swing.mv_per_lsb swing) e.B.promise_accuracy (energy /. 1e3)
+        (energy /. e_max))
+    Swing.all_codes;
+
+  (* and what the compiler picks at p_m = 1% *)
+  match B.optimize b ~pm:0.01 with
+  | Ok ([ chosen ], e) ->
+      Printf.printf
+        "\ncompiler choice at p_m = 1%%: swing %d (accuracy %.3f, mismatch %.3f)\n"
+        chosen e.B.promise_accuracy e.B.mismatch
+  | Ok _ -> assert false
+  | Error msg -> prerr_endline msg

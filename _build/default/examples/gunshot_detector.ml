@@ -1,0 +1,83 @@
+(* Gunshot detection with a matched filter (Table 2's event-detection
+   workload).
+
+     dune exec examples/gunshot_detector.exe
+
+   The filter weights (the time-reversed impulse template) are stored
+   in the bit-cell array; every incoming 512-sample audio window is
+   correlated in one Task whose Class-4 threshold op emits the
+   detection decision directly. *)
+
+module P = Promise
+module Dsl = P.Ir.Dsl
+module Rt = P.Compiler.Runtime
+module Rng = P.Analog.Rng
+
+let n = 512
+
+let () =
+  let rng = Rng.create 4242 in
+  let template = P.Ml.Dataset.Gunshot.template rng ~len:n in
+
+  (* calibrate the decision threshold on labeled windows *)
+  let calibration = P.Ml.Dataset.Gunshot.windows rng ~template ~n:200 ~snr:1.0 in
+  let threshold =
+    P.Ml.Matched_filter.calibrate_threshold ~template calibration
+  in
+  Printf.printf "calibrated threshold: %.3f\n" threshold;
+
+  let kernel =
+    Dsl.kernel ~name:"gunshot"
+      ~decls:
+        [
+          Dsl.matrix "filter" ~rows:1 ~cols:n;
+          Dsl.vector "window" ~len:n;
+          Dsl.out_vector "detect" ~len:1;
+        ]
+      [
+        Dsl.for_store ~iterations:1 ~out:"detect"
+          (Dsl.sthreshold threshold (Dsl.dot "filter" "window"));
+      ]
+  in
+  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith e in
+
+  let machine =
+    P.Arch.Machine.create
+      { P.Arch.Machine.banks = 4; profile = P.Arch.Bank.Silicon;
+        noise_seed = Some 3 }
+  in
+  let windows = P.Ml.Dataset.Gunshot.windows rng ~template ~n:40 ~snr:1.0 in
+  let tp = ref 0 and tn = ref 0 and fp = ref 0 and fn = ref 0 in
+  Array.iter
+    (fun w ->
+      let bindings = Rt.bindings () in
+      Rt.bind_matrix bindings "filter" [| template |];
+      Rt.bind_vector bindings "window" w.P.Ml.Dataset.features;
+      match Rt.run ~machine graph bindings with
+      | Error e -> failwith e
+      | Ok r -> (
+          match Rt.final_output r with
+          | Ok o ->
+              let detected = o.Rt.values.(0) > 0.5 in
+              (match (detected, w.P.Ml.Dataset.label = 1) with
+              | true, true -> incr tp
+              | false, false -> incr tn
+              | true, false -> incr fp
+              | false, true -> incr fn)
+          | Error e -> failwith e))
+    windows;
+  Printf.printf "detections: %d true-positive, %d true-negative, %d false-positive, %d missed\n"
+    !tp !tn !fp !fn;
+  Printf.printf "accuracy: %.1f%%\n"
+    (100.0 *. float_of_int (!tp + !tn) /. float_of_int (Array.length windows));
+
+  (* energy per decision at two swings: the accuracy-energy knob *)
+  List.iter
+    (fun swing ->
+      let g = P.Ir.Graph.map_tasks graph (fun _ t -> P.Ir.Abstract_task.with_swing t swing) in
+      match P.Compiler.Pipeline.codegen g with
+      | Ok program ->
+          Printf.printf "swing %d: %.0f pJ per window\n" swing
+            (P.Energy.Model.total (P.Energy.Model.program_energy_steady program))
+      | Error e -> failwith e)
+    [ 7; 0 ]

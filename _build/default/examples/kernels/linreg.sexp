@@ -1,0 +1,9 @@
+; 2-D linear regression: the four Table-2 reduction statistics.
+(kernel linreg
+  (matrix U 2 4096)
+  (matrix V 2 4096)
+  (vector Vvec 8192)
+  (mean U)
+  (mean V)
+  (mean-square U)
+  (mean-product U Vvec))

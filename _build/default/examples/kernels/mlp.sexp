@@ -1,0 +1,10 @@
+; Two-layer perceptron: sigmoid hidden layer, argmax decision.
+(kernel mlp
+  (vector x 784)
+  (matrix W0 128 784)
+  (output h 128)
+  (matrix W1 10 128)
+  (output y 10)
+  (for 128 h (sigmoid (dot W0 x)))
+  (for 10 y (dot W1 h))
+  (argmax y))

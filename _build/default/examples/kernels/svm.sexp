@@ -1,0 +1,6 @@
+; Linear SVM decision: sign(w . x) as a Class-4 threshold.
+(kernel svm
+  (matrix weights 1 257)
+  (vector sample 257)
+  (output decision 1)
+  (for 1 decision (threshold 0.0 (dot weights sample))))

@@ -1,0 +1,8 @@
+; The paper's §3.4 running example as a textual kernel:
+; find the closest of 64 candidate faces to a query image by L1 distance.
+(kernel template_matching
+  (matrix faces 64 256)
+  (vector query 256)
+  (output distances 64)
+  (for 64 distances (l1 faces query))
+  (argmin distances))

@@ -1,0 +1,97 @@
+(* k-means with the assignment step offloaded to PROMISE.
+
+     dune exec examples/kmeans_clustering.exe
+
+   The paper's §3.3 notes that k-means is inefficient on PROMISE: the
+   assignment step maps perfectly (L2 distances to k centroids, argmin
+   fused in Class-4), but the centroid update needs the element-wise
+   write-back operation the ISA omits, so every Lloyd iteration
+   round-trips through the host to rewrite W. This example runs that
+   hybrid loop and prices the round trip against the hypothetical
+   extended ISA (Promise.Isa.Extensions). *)
+
+module P = Promise
+module Dsl = P.Ir.Dsl
+module Rt = P.Compiler.Runtime
+module Rng = P.Analog.Rng
+module Kmeans = P.Ml.Kmeans
+
+let k = 4
+let dims = 32
+let n = 120
+let lloyd_iterations = 6
+
+let () =
+  (* blobs around k true centers *)
+  let rng = Rng.create 777 in
+  let centers =
+    Array.init k (fun _ ->
+        Array.init dims (fun _ -> Rng.uniform rng ~lo:(-0.6) ~hi:0.6))
+  in
+  let data =
+    Array.init n (fun i ->
+        let c = centers.(i mod k) in
+        Array.map (fun v -> v +. Rng.gaussian_scaled rng ~mu:0.0 ~sigma:0.08) c)
+  in
+
+  (* the PROMISE assignment kernel: distances to the k current centroids *)
+  let kernel =
+    Dsl.kernel ~name:"kmeans_assign"
+      ~decls:
+        [
+          Dsl.matrix "centroids" ~rows:k ~cols:dims;
+          Dsl.vector "sample" ~len:dims;
+          Dsl.out_vector "distances" ~len:k;
+        ]
+      [
+        Dsl.for_store ~iterations:k ~out:"distances"
+          (Dsl.l2_distance "centroids" "sample");
+        Dsl.argmin "distances";
+      ]
+  in
+  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith e in
+  let machine =
+    P.Arch.Machine.create
+      { P.Arch.Machine.banks = 1; profile = P.Arch.Bank.Silicon;
+        noise_seed = Some 13 }
+  in
+  let assign_on_promise centroids sample =
+    let b = Rt.bindings () in
+    Rt.bind_matrix b "centroids" centroids;
+    Rt.bind_vector b "sample" sample;
+    match Rt.run ~machine graph b with
+    | Error e -> failwith e
+    | Ok r -> (
+        match Rt.final_output r with
+        | Ok { Rt.decision = Some (c, _); _ } -> c
+        | _ -> failwith "no decision")
+  in
+
+  (* hybrid Lloyd loop: assignment on PROMISE, update on the host *)
+  let model = ref (Kmeans.fit rng ~data ~k ~iterations:0) in
+  for it = 1 to lloyd_iterations do
+    let assignments =
+      Array.map (assign_on_promise !model.Kmeans.centroids) data
+    in
+    let centroids, _empty = Kmeans.update ~k ~data ~assignments in
+    model := { Kmeans.centroids };
+    Printf.printf "iteration %d: inertia %.3f\n" it (Kmeans.inertia !model data)
+  done;
+
+  (* agreement with the all-float reference *)
+  let reference = Kmeans.fit (Rng.create 777) ~data ~k ~iterations:lloyd_iterations in
+  Printf.printf "PROMISE-assisted inertia %.3f vs float reference %.3f\n"
+    (Kmeans.inertia !model data)
+    (Kmeans.inertia reference data);
+
+  (* what would the omitted write-back op cost the rest of the ISA? *)
+  let open P.Isa.Extensions in
+  Printf.printf
+    "\n§3.3: supporting %s would set the worst-case TP to %d cycles\n"
+    (name Elementwise_writeback)
+    (worst_case_tp_with [ Elementwise_writeback ]);
+  List.iter
+    (fun (kernel_name, tp) ->
+      Printf.printf "  %-18s (TP %2d) would slow down %.2fx\n" kernel_name tp
+        (tp_inflation [ Elementwise_writeback ] ~task_tp:tp))
+    [ ("k-NN L1", 7); ("Temp. Match. L2", 8); ("DNN layer", 14) ]

@@ -1,0 +1,59 @@
+(* Driving PROMISE at the ISA level, no compiler: write assembly,
+   assemble it to 48-bit Task words, load data by hand, and execute the
+   raw program with default launch semantics.
+
+     dune exec examples/raw_isa.exe
+
+   This is the path `bin/promise_asm.exe` serves; it shows what the
+   compiler's runtime does for you (scales, gains, layout). *)
+
+module P = Promise
+module Machine = P.Arch.Machine
+module Layout = P.Arch.Layout
+
+let source =
+  "; nearest-of-8 by L1 distance, one bank, Class-4 min carries argmin\n\
+   task c1=aSUBT c2=absolute.avd c3=ADC c4=min rpt=7 swing=7\n"
+
+let () =
+  (* 1. assemble *)
+  let program =
+    match P.Isa.Program.of_asm ~name:"nearest" source with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  print_endline "assembled:";
+  List.iter
+    (fun t -> Printf.printf "  0x%s  %s\n" (P.Isa.Encode.hex_of_task t)
+        (P.Isa.Asm.print_task t))
+    program.P.Isa.Program.tasks;
+
+  (* 2. hand-load eight candidate vectors and the query *)
+  let machine = Machine.create (Machine.ideal_config ~banks:1) in
+  let plan = Layout.plan_exn ~vector_len:32 ~rows:8 in
+  let rng = P.Analog.Rng.create 3030 in
+  let candidates =
+    Array.init 8 (fun _ ->
+        Array.init 32 (fun _ -> P.Analog.Rng.int rng 200 - 100))
+  in
+  let target = 5 in
+  let query = Array.copy candidates.(target) in
+  Machine.load_weights machine ~group:0 ~base:0 ~plan candidates;
+  Machine.load_x machine ~group:0 ~xreg_base:0 ~plan query;
+
+  (* 3. execute the raw program *)
+  (match Machine.run_program machine program with
+  | [ result ] -> (
+      match result.Machine.argext with
+      | Some (i, d) ->
+          Printf.printf "nearest candidate: %d (true %d), distance %.3f\n" i
+            target d
+      | None -> failwith "no decision")
+  | _ -> failwith "one result expected");
+
+  (* 4. the cycle/energy story of what just ran *)
+  let trace = Machine.trace machine in
+  Printf.printf "cycles: %d, energy: %.1f pJ\n"
+    (P.Arch.Trace.total_cycles trace)
+    (P.Energy.Model.total (P.Energy.Model.trace_energy trace));
+  print_string (P.Arch.Trace.to_csv trace)

@@ -1,0 +1,1 @@
+lib/analog/adc.ml: Float

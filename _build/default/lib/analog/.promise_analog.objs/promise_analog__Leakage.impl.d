@@ -1,0 +1,1 @@
+lib/analog/leakage.ml:

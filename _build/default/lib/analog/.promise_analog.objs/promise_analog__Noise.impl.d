@@ -1,0 +1,1 @@
+lib/analog/noise.ml: Array Float Rng Swing

@@ -1,0 +1,1 @@
+lib/analog/rng.ml: Array Float Int64

@@ -1,0 +1,10 @@
+let bitline_rate_per_ns = 0.006
+let capacitor_rate_per_ns = 0.0005
+
+let droop ~rate_per_ns ~ns v =
+  if ns < 0.0 then invalid_arg "Leakage.droop: negative time";
+  v *. exp (-.rate_per_ns *. ns)
+
+let bitline ~idle_ns v = droop ~rate_per_ns:bitline_rate_per_ns ~ns:idle_ns v
+let stage_hold ~idle_ns v =
+  droop ~rate_per_ns:capacitor_rate_per_ns ~ns:idle_ns v

@@ -1,0 +1,20 @@
+(** Capacitor droop: analog values stored on capacitors degrade over time
+    (paper §3.2). The bit-line is worst: every bit-cell in a column leaks
+    into it, up to 0.6 %/ns. Idle pipeline slots therefore cost accuracy,
+    which is why PROMISE keeps the clock period [TP] tight. *)
+
+(** Worst-case bit-line droop rate, fraction per ns (paper: 0.6 %/ns). *)
+val bitline_rate_per_ns : float
+
+(** Droop rate of the (smaller, better isolated) aSD holding capacitor. *)
+val capacitor_rate_per_ns : float
+
+(** [droop ~rate_per_ns ~ns v] — value [v] after [ns] nanoseconds of
+    exponential droop toward 0: [v *. exp (-. rate *. ns)]. *)
+val droop : rate_per_ns:float -> ns:float -> float -> float
+
+(** [bitline ~idle_ns v] — {!droop} at {!bitline_rate_per_ns}. *)
+val bitline : idle_ns:float -> float -> float
+
+(** [stage_hold ~idle_ns v] — {!droop} at {!capacitor_rate_per_ns}. *)
+val stage_hold : idle_ns:float -> float -> float

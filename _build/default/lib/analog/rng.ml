@@ -1,0 +1,65 @@
+type t = { mutable state : int64; mutable cached_gaussian : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.of_int seed; cached_gaussian = None }
+
+let next_seed state = Int64.add state golden_gamma
+
+(* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- next_seed t.state;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed; cached_gaussian = None }
+
+let copy t = { state = t.state; cached_gaussian = t.cached_gaussian }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the conversion to a 63-bit OCaml int stays positive *)
+  let mask = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  mask mod bound
+
+let float t =
+  (* 53 uniform mantissa bits. *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let gaussian t =
+  match t.cached_gaussian with
+  | Some g ->
+      t.cached_gaussian <- None;
+      g
+  | None ->
+      let rec draw () =
+        let u = float t in
+        if u <= 1e-300 then draw () else u
+      in
+      let u1 = draw () and u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.cached_gaussian <- Some (r *. sin theta);
+      r *. cos theta
+
+let gaussian_scaled t ~mu ~sigma = mu +. (sigma *. gaussian t)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

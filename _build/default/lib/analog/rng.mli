@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic model in the simulator draws from an explicit [t]
+    so runs are reproducible bit-for-bit from a seed, independently of
+    the global [Random] state. *)
+
+type t
+
+(** [create seed] — a fresh generator. Equal seeds give equal streams. *)
+val create : int -> t
+
+(** [split t] derives an independent generator (and advances [t]). *)
+val split : t -> t
+
+(** [copy t] duplicates the current state without advancing it. *)
+val copy : t -> t
+
+(** [bits64 t] — next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t bound] — uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] — uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [uniform t ~lo ~hi] — uniform in [\[lo, hi)]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [gaussian t] — standard normal via Box-Muller (cached pair). *)
+val gaussian : t -> float
+
+(** [gaussian_scaled t ~mu ~sigma] — N(mu, sigma²). *)
+val gaussian_scaled : t -> mu:float -> sigma:float -> float
+
+(** [shuffle t arr] — in-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

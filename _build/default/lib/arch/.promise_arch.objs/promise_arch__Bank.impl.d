@@ -1,0 +1,1 @@
+lib/arch/bank.pp.ml: Array Bitcell_array Faults Float List Op_param Opcode Params Promise_analog Promise_isa Task Timing Xreg

@@ -1,0 +1,1 @@
+lib/arch/bank.pp.mli: Bitcell_array Faults Promise_analog Promise_isa Xreg

@@ -1,0 +1,1 @@
+lib/arch/bitcell_array.pp.ml: Array Float Params Printf Promise_analog

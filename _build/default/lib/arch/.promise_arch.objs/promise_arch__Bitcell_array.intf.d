@@ -1,0 +1,1 @@
+lib/arch/bitcell_array.pp.mli: Promise_analog

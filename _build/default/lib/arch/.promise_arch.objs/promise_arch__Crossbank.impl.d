@@ -1,0 +1,1 @@
+lib/arch/crossbank.pp.ml: Array

@@ -1,0 +1,1 @@
+lib/arch/ctrl.pp.ml: Format List Opcode Params Promise_isa Task Timing

@@ -1,0 +1,1 @@
+lib/arch/ctrl.pp.mli: Format Promise_isa

@@ -1,0 +1,1 @@
+lib/arch/faults.pp.ml: Array Format List Params

@@ -1,0 +1,1 @@
+lib/arch/faults.pp.mli: Format

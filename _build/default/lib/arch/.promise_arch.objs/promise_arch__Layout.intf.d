@@ -1,0 +1,1 @@
+lib/arch/layout.pp.mli:

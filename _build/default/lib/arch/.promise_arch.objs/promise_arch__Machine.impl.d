@@ -1,0 +1,1 @@
+lib/arch/machine.pp.ml: Array Bank Bitcell_array Crossbank Float Layout List Op_param Opcode Option Params Printf Program Promise_analog Promise_isa Task Th_unit Timing Trace Xreg

@@ -1,0 +1,1 @@
+lib/arch/machine.pp.mli: Bank Layout Promise_isa Th_unit Trace

@@ -1,0 +1,1 @@
+lib/arch/scheduler.pp.ml: Array Float List Promise_analog Promise_isa Task Timing

@@ -1,0 +1,1 @@
+lib/arch/scheduler.pp.mli: Promise_isa

@@ -1,0 +1,1 @@
+lib/arch/th_unit.pp.ml: Float Opcode Promise_isa

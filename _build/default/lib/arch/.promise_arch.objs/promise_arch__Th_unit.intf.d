@@ -1,0 +1,1 @@
+lib/arch/th_unit.pp.mli: Promise_isa

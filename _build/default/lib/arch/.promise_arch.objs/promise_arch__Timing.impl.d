@@ -1,0 +1,1 @@
+lib/arch/timing.pp.ml: List Opcode Params Program Promise_analog Promise_isa Task

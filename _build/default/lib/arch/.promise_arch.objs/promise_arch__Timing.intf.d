@@ -1,0 +1,1 @@
+lib/arch/timing.pp.mli: Promise_isa

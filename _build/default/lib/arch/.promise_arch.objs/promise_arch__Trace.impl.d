@@ -1,0 +1,1 @@
+lib/arch/trace.pp.ml: Buffer Format List Params Printf Promise_isa

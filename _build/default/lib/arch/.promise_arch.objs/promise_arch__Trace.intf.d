@@ -1,0 +1,1 @@
+lib/arch/trace.pp.mli: Format Promise_isa

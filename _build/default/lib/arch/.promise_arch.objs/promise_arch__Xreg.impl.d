@@ -1,0 +1,1 @@
+lib/arch/xreg.pp.ml: Array Params Printf

@@ -1,0 +1,5 @@
+let combine partials = Array.fold_left ( +. ) 0.0 partials
+
+let transfers_per_iteration ~banks =
+  if banks < 1 then invalid_arg "Crossbank: banks must be >= 1";
+  banks - 1

@@ -1,0 +1,14 @@
+(** The cross-bank rail (paper §3.1, Fig. 2(b)).
+
+    When a Task runs on [2^MULTI_BANK] banks, each non-zero bank's 8-bit
+    ADC output is moved to bank 0 every iteration and summed there before
+    the TH stage. Transfers are digital, hence reliable; each 8-bit word
+    costs ~0.5 pJ (post-layout, activity factor 0.5) — accounted in the
+    energy model, negligible (<1%) next to aREAD. *)
+
+(** [combine partials] — digital sum of the per-bank partial samples. *)
+val combine : float array -> float
+
+(** [transfers_per_iteration ~banks] — 8-bit words moved on the rail per
+    Task iteration ([banks - 1]). *)
+val transfers_per_iteration : banks:int -> int

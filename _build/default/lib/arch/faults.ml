@@ -1,0 +1,31 @@
+type t = { stuck : (int * int) list; adc_offset : float }
+
+let none = { stuck = []; adc_offset = 0.0 }
+let is_none t = t.stuck = [] && t.adc_offset = 0.0
+
+let with_stuck_lane t ~lane ~code =
+  if lane < 0 || lane >= Params.lanes then
+    invalid_arg "Faults.with_stuck_lane: lane out of range";
+  if code < -128 || code > 127 then
+    invalid_arg "Faults.with_stuck_lane: code not 8-bit";
+  { t with stuck = (lane, code) :: List.remove_assoc lane t.stuck }
+
+let with_adc_offset t offset = { t with adc_offset = offset }
+let stuck_lanes t = t.stuck
+let adc_offset t = t.adc_offset
+
+let apply_stuck t values =
+  if t.stuck = [] then values
+  else begin
+    let out = Array.copy values in
+    List.iter
+      (fun (lane, code) ->
+        if lane < Array.length out then
+          out.(lane) <- float_of_int code /. 128.0)
+      t.stuck;
+    out
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "faults: %d stuck lane(s), ADC offset %.4f"
+    (List.length t.stuck) t.adc_offset

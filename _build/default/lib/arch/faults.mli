@@ -1,0 +1,32 @@
+(** Hardware fault models for failure-injection testing.
+
+    The paper's error analysis covers process-variation noise (random)
+    and transfer-curve non-idealities (deterministic, re-trainable).
+    This module adds the *hard* failure modes a deployed part can
+    develop, so error paths and graceful-degradation behaviour are
+    testable: stuck bit-cell columns (a lane always reads a fixed code)
+    and a systematic ADC offset. *)
+
+type t
+
+(** No faults. *)
+val none : t
+
+val is_none : t -> bool
+
+(** [with_stuck_lane t ~lane ~code] — lane [lane] of every word row
+    reads as [code] (8-bit, -128..127) on the analog path. *)
+val with_stuck_lane : t -> lane:int -> code:int -> t
+
+(** [with_adc_offset t offset] — every ADC conversion is shifted by
+    [offset] (in normalized analog units) before quantization. *)
+val with_adc_offset : t -> float -> t
+
+val stuck_lanes : t -> (int * int) list
+val adc_offset : t -> float
+
+(** [apply_stuck t values] — overwrite stuck lanes with their stuck
+    (normalized) values; returns [values] itself when no lane faults. *)
+val apply_stuck : t -> float array -> float array
+
+val pp : Format.formatter -> t -> unit

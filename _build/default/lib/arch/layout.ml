@@ -1,0 +1,77 @@
+type plan = {
+  vector_len : int;
+  rows : int;
+  banks : int;
+  multi_bank : int;
+  segments : int;
+  lanes_per_bank : int;
+  word_rows_per_task : int;
+  rows_per_task : int;
+  tasks : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let plan ~vector_len ~rows =
+  if vector_len < 1 then Error "vector_len must be >= 1"
+  else if rows < 1 then Error "rows must be >= 1"
+  else
+    let max_banks_per_task = 8 and max_segments = 4 in
+    if vector_len > max_banks_per_task * max_segments * Params.lanes then
+      Error
+        (Printf.sprintf
+           "vector of %d elements exceeds 8 banks x 4 segments x 128 lanes"
+           vector_len)
+    else
+      (* Prefer parallelism (more banks) over serialization (segments). *)
+      let rec pick_banks multi_bank =
+        let banks = 1 lsl multi_bank in
+        if vector_len <= banks * Params.lanes || multi_bank = 3 then
+          (banks, multi_bank)
+        else pick_banks (multi_bank + 1)
+      in
+      let banks, multi_bank = pick_banks 0 in
+      let segments = ceil_div vector_len (banks * Params.lanes) in
+      let lanes_per_bank = ceil_div vector_len (banks * segments) in
+      let max_rows_per_task =
+        min (Params.word_rows / segments) (128 / segments)
+      in
+      let rows_per_task = min rows max_rows_per_task in
+      let tasks = ceil_div rows rows_per_task in
+      Ok
+        {
+          vector_len;
+          rows;
+          banks;
+          multi_bank;
+          segments;
+          lanes_per_bank;
+          word_rows_per_task = segments * rows_per_task;
+          rows_per_task;
+          tasks;
+        }
+
+let plan_exn ~vector_len ~rows =
+  match plan ~vector_len ~rows with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Layout.plan: " ^ msg)
+
+let x_prd p = p.segments - 1
+let total_banks p = p.banks * p.tasks
+
+let chunk_rows p k =
+  if k < 0 || k >= p.tasks then invalid_arg "Layout.chunk_rows: bad chunk";
+  if k = p.tasks - 1 then p.rows - (k * p.rows_per_task) else p.rows_per_task
+
+let slice_of_vector p v ~bank ~segment =
+  if bank < 0 || bank >= p.banks then invalid_arg "Layout.slice: bad bank";
+  if segment < 0 || segment >= p.segments then
+    invalid_arg "Layout.slice: bad segment";
+  let out = Array.make p.lanes_per_bank 0 in
+  let base = ((bank * p.segments) + segment) * p.lanes_per_bank in
+  let len = Array.length v in
+  for lane = 0 to p.lanes_per_bank - 1 do
+    let e = base + lane in
+    if e < len then out.(lane) <- v.(e)
+  done;
+  out

@@ -1,0 +1,44 @@
+(** Mapping workloads onto banks and word rows (paper §3.3, "Extension to
+    Large Scale Applications").
+
+    A vector of length [vector_len] is cut into [banks × segments] slices
+    of [lanes_per_bank ≤ 128] elements: element [e] lives in bank
+    [e / (segments·lanes_per_bank)], segment
+    [(e mod segments·lanes_per_bank) / lanes_per_bank]. Consecutive
+    segments of one W row occupy consecutive word rows, so a Task covers
+    a whole row in [segments] iterations with [X_PRD = segments - 1] and
+    [RPT_NUM = segments·rows - 1]. *)
+
+type plan = {
+  vector_len : int;
+  rows : int;  (** number of weight vectors W_j (N_o) *)
+  banks : int;  (** 2^multi_bank banks per task *)
+  multi_bank : int;
+  segments : int;  (** word rows per vector per bank; [x_prd = segments-1] *)
+  lanes_per_bank : int;
+  word_rows_per_task : int;  (** per bank: [segments * rows_per_task] *)
+  rows_per_task : int;  (** ≤ 128/segments and ≤ 128 (RPT_NUM limit) *)
+  tasks : int;  (** row chunks = ceil (rows / rows_per_task) *)
+}
+
+(** [plan ~vector_len ~rows] — a placement, or [Error] when the vector
+    cannot fit (needs more than 8 banks × 4 segments). *)
+val plan : vector_len:int -> rows:int -> (plan, string) result
+
+(** [plan_exn ~vector_len ~rows]. *)
+val plan_exn : vector_len:int -> rows:int -> plan
+
+(** [x_prd p] — [segments - 1]. *)
+val x_prd : plan -> int
+
+(** [total_banks p] — banks needed to hold every row chunk resident
+    simultaneously: [banks × tasks]. *)
+val total_banks : plan -> int
+
+(** [chunk_rows p k] — rows covered by row-chunk [k] (the last chunk may
+    be short). *)
+val chunk_rows : plan -> int -> int
+
+(** [slice_of_vector p v ~bank ~segment] — the [lanes_per_bank] codes of
+    [v] that bank [bank], segment [segment] holds (zero-padded). *)
+val slice_of_vector : plan -> int array -> bank:int -> segment:int -> int array

@@ -1,0 +1,217 @@
+open Promise_isa
+module A = Promise_analog
+
+type config = {
+  banks : int;
+  profile : Bank.profile;
+  noise_seed : int option;
+}
+
+let default_config = { banks = 4; profile = Bank.Silicon; noise_seed = Some 42 }
+let ideal_config ~banks = { banks; profile = Bank.Ideal; noise_seed = None }
+
+type t = { config : config; banks : Bank.t array; trace : Trace.t }
+
+let create (config : config) =
+  if config.banks < 1 || config.banks > 64 then
+    invalid_arg "Machine.create: banks must be in [1, 64]";
+  let root_rng = A.Rng.create (Option.value config.noise_seed ~default:0) in
+  let make_bank _ =
+    let noise =
+      match config.noise_seed with
+      | None -> A.Noise.disabled
+      | Some _ -> A.Noise.create ~rng:(A.Rng.split root_rng) ()
+    in
+    Bank.create ~profile:config.profile ~noise ()
+  in
+  { config; banks = Array.init config.banks make_bank; trace = Trace.create () }
+
+let config t = t.config
+let n_banks t = Array.length t.banks
+
+let bank t i =
+  if i < 0 || i >= n_banks t then invalid_arg "Machine.bank: index out of range";
+  t.banks.(i)
+
+let trace t = t.trace
+let reset_trace t =
+  t.trace.Trace.records <- [];
+  t.trace.Trace.total_cycles <- 0
+
+type launch = {
+  task : Task.t;
+  bank_group : int;
+  active_lanes : int;
+  adc_gain : float;
+  th : Th_unit.config;
+  dest_xreg : int;
+}
+
+type result = {
+  emitted : float list;
+  acc_out : float list;
+  xreg_out : float list;
+  write_buffer : int list;
+  argext : (int * float) option;
+  digital : int array list;
+  record : Trace.task_record;
+}
+
+let group_banks t launch =
+  let n = Task.banks launch.task in
+  let first = launch.bank_group * n in
+  if first + n > n_banks t then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.execute: bank group %d of %d banks exceeds machine of %d"
+         launch.bank_group n (n_banks t));
+  Array.init n (fun i -> t.banks.(first + i))
+
+let quantize_code v =
+  let code = int_of_float (Float.round (v *. 128.0)) in
+  max (-128) (min 127 code)
+
+let route_emit banks launch (emit : Th_unit.emit) ~emitted ~acc_out ~xreg_out
+    ~wbuf =
+  match emit.Th_unit.des with
+  | Opcode.Des_output_buffer -> emitted := emit.Th_unit.value :: !emitted
+  | Opcode.Des_acc -> acc_out := emit.Th_unit.value :: !acc_out
+  | Opcode.Des_xreg ->
+      let code = quantize_code emit.Th_unit.value in
+      Array.iter
+        (fun b -> Xreg.stage_element (Bank.xreg b) ~index:launch.dest_xreg code)
+        banks;
+      xreg_out := (float_of_int code /. 128.0) :: !xreg_out
+  | Opcode.Des_write_buffer ->
+      let code = quantize_code emit.Th_unit.value in
+      Array.iter (fun b -> Bank.stage_write_code b code) banks;
+      wbuf := code :: !wbuf
+
+let execute t launch =
+  let task = launch.task in
+  (match Task.validate task with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Machine.execute: " ^ msg));
+  let banks = group_banks t launch in
+  let n_banks_used = Array.length banks in
+  let th = Th_unit.create launch.th in
+  let emitted = ref [] and acc_out = ref [] and wbuf = ref [] in
+  let xreg_out = ref [] in
+  let digital = ref [] in
+  let adc_conversions = ref 0 in
+  let iterations = Task.iterations task in
+  for iteration = 0 to iterations - 1 do
+    let partials = Array.make n_banks_used 0.0 in
+    let got_sample = ref false in
+    Array.iteri
+      (fun bi b ->
+        match
+          Bank.run_iteration b ~task ~iteration
+            ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
+        with
+        | Bank.Sample s ->
+            partials.(bi) <- s;
+            got_sample := true;
+            incr adc_conversions
+        | Bank.Digital_vector v ->
+            if bi = 0 then digital := v :: !digital;
+            if Task.uses_adc task then
+              adc_conversions := !adc_conversions + launch.active_lanes
+        | Bank.Analog_vector _ | Bank.Idle -> ())
+      banks;
+    if !got_sample then
+      let combined = Crossbank.combine partials in
+      match Th_unit.push th combined with
+      | Some emit ->
+          route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
+      | None -> ()
+  done;
+  (match Th_unit.finish th with
+  | Some emit -> route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
+  | None -> ());
+  let record =
+    {
+      Trace.task = task;
+      iterations;
+      banks = n_banks_used;
+      tp = Timing.task_tp task;
+      fill_cycles = Timing.fill_cycles task;
+      cycles = Timing.task_cycles task;
+      adc_conversions = !adc_conversions / max 1 n_banks_used;
+      crossbank_transfers =
+        Crossbank.transfers_per_iteration ~banks:n_banks_used * iterations;
+      th_ops = Th_unit.ops_executed th;
+    }
+  in
+  Trace.record t.trace record;
+  {
+    emitted = List.rev !emitted;
+    acc_out = List.rev !acc_out;
+    xreg_out = List.rev !xreg_out;
+    write_buffer = List.rev !wbuf;
+    argext = Th_unit.argext th;
+    digital = List.rev !digital;
+    record;
+  }
+
+let run t launches = List.map (execute t) launches
+
+let default_launch (task : Task.t) =
+  let p = task.Task.op_param in
+  {
+    task;
+    bank_group = 0;
+    active_lanes = Params.lanes;
+    adc_gain = 1.0;
+    th =
+      {
+        Th_unit.op = task.Task.class4;
+        acc_num = p.Op_param.acc_num;
+        threshold = (float_of_int p.Op_param.thres_val /. 7.5) -. 1.0;
+        gain = float_of_int Params.lanes *. Bank.analog_scale task;
+        des = p.Op_param.des;
+      };
+    dest_xreg = Params.xreg_depth - 1;
+  }
+
+let run_program t (program : Program.t) =
+  List.map (fun task -> execute t (default_launch task)) program.Program.tasks
+
+let load_weights t ~group ~base ~plan w =
+  let n = plan.Layout.banks in
+  let first = group * n in
+  if first + n > n_banks t then
+    invalid_arg "Machine.load_weights: group exceeds machine";
+  let rows = Array.length w in
+  if base + (rows * plan.Layout.segments) > Params.word_rows then
+    invalid_arg "Machine.load_weights: rows overflow the bank";
+  Array.iteri
+    (fun r row ->
+      for bank_i = 0 to n - 1 do
+        for segment = 0 to plan.Layout.segments - 1 do
+          let slice = Layout.slice_of_vector plan row ~bank:bank_i ~segment in
+          let word_row = base + (r * plan.Layout.segments) + segment in
+          Bitcell_array.write
+            (Bank.array t.banks.(first + bank_i))
+            ~word_row slice
+        done
+      done)
+    w
+
+let load_x t ~group ~xreg_base ~plan x =
+  let n = plan.Layout.banks in
+  let first = group * n in
+  if first + n > n_banks t then
+    invalid_arg "Machine.load_x: group exceeds machine";
+  if xreg_base + plan.Layout.segments > Params.xreg_depth then
+    invalid_arg "Machine.load_x: X-REG overflow";
+  for bank_i = 0 to n - 1 do
+    for segment = 0 to plan.Layout.segments - 1 do
+      let slice = Layout.slice_of_vector plan x ~bank:bank_i ~segment in
+      Xreg.load
+        (Bank.xreg t.banks.(first + bank_i))
+        ~index:(xreg_base + segment) slice
+    done
+  done
+
+let read_xreg t ~bank:i ~xreg = Xreg.get (Bank.xreg (bank t i)) ~index:xreg

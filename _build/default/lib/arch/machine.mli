@@ -1,0 +1,91 @@
+(** The multi-bank PROMISE machine (paper Fig. 2(b)).
+
+    Banks are grouped in units of [2^MULTI_BANK] for task execution; a
+    [launch] names the group, the per-bank active lane count and the TH
+    configuration the host runtime computed (paper §4.3: OP_PARAM /
+    RPT_NUM / MULTI_BANK are computed on the host before Task launch). *)
+
+type config = {
+  banks : int;  (** total banks in the machine (1..64) *)
+  profile : Bank.profile;
+  noise_seed : int option;  (** [None] — ideal, noise-free *)
+}
+
+val default_config : config
+(** 4 banks, [Silicon] profile, seed 42. *)
+
+val ideal_config : banks:int -> config
+(** Ideal profile, no noise: functional validation mode. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+val n_banks : t -> int
+val bank : t -> int -> Bank.t
+val trace : t -> Trace.t
+val reset_trace : t -> unit
+
+(** A Task launch descriptor, produced by the compiler runtime. *)
+type launch = {
+  task : Promise_isa.Task.t;
+  bank_group : int;  (** which group of [2^multi_bank] banks *)
+  active_lanes : int;  (** per bank *)
+  adc_gain : float;  (** ADC range-matching gain, a power of two ≥ 1 *)
+  th : Th_unit.config;
+  dest_xreg : int;  (** destination X-REG index for [Des_xreg] emits *)
+}
+
+(** Results of one Task execution. *)
+type result = {
+  emitted : float list;  (** output-buffer emissions, oldest first *)
+  acc_out : float list;  (** emissions routed to the accumulator input *)
+  xreg_out : float list;
+      (** values staged into X-REG (after their 8-bit quantization) *)
+  write_buffer : int list;
+      (** codes staged into the write data buffer (DES = 11); a
+          following Class-1 [write] Task stores them into the array *)
+  argext : (int * float) option;  (** max/min decision (group index, value) *)
+  digital : int array list;  (** digital read results *)
+  record : Trace.task_record;
+}
+
+(** [execute t launch] — run every iteration of the task, combine bank
+    partials over the cross-bank rail, drive TH, route destinations, and
+    append a record to the trace. Raises [Invalid_argument] when the
+    bank group exceeds the machine. *)
+val execute : t -> launch -> result
+
+(** [run t launches] — execute in order. *)
+val run : t -> launch list -> result list
+
+(** [default_launch task] — a launch with ISA-level defaults for raw
+    (assembler-driven) execution: bank group 0, all 128 lanes, unit ADC
+    gain, TH pre-gain = 128 × the task's analog scale (so emitted
+    values are sums in normalized units), grouping/threshold/destination
+    from OP_PARAM. *)
+val default_launch : Promise_isa.Task.t -> launch
+
+(** [run_program t program] — execute a raw ISA program with
+    {!default_launch} semantics (the [promise-asm] path: no compiler
+    metadata needed). *)
+val run_program : t -> Promise_isa.Program.t -> result list
+
+(** {2 Data staging} *)
+
+(** [load_weights t ~group ~base ~plan w] — place row-chunk matrix [w]
+    (rows × vector_len 8-bit codes) into the banks of [group] starting
+    at word row [base], per [plan]'s slicing. *)
+val load_weights :
+  t -> group:int -> base:int -> plan:Layout.plan -> int array array -> unit
+
+(** [load_x t ~group ~xreg_base ~plan x] — broadcast the input vector's
+    per-bank, per-segment slices into X-REG entries
+    [xreg_base .. xreg_base + segments - 1] of each bank in [group]. *)
+val load_x :
+  t -> group:int -> xreg_base:int -> plan:Layout.plan -> int array -> unit
+
+(** [read_xreg t ~bank ~xreg] — one bank's view of an X-REG vector
+    (Class-4 [Des_xreg] emits broadcast to every bank of the group, so
+    the group's first bank is canonical). *)
+val read_xreg : t -> bank:int -> xreg:int -> int array

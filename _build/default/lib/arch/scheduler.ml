@@ -1,0 +1,88 @@
+open Promise_isa
+
+type event = { iteration : int; stage : string; start : int; finish : int }
+
+type schedule = { events : event list; completion : int; adc_stalls : int }
+
+(* The closed-form model (and the paper's own throughput numbers) treat
+   the eight-unit ADC as fully pipelined: a new conversion can start
+   every TP cycles and only the 138-cycle latency is visible. With the
+   units modeled individually (each busy for the whole conversion),
+   8 x TP >= 138 is required for stall-free operation — the harness's
+   fidelity section quantifies that gap. [ideal_adc] selects between
+   the two. *)
+let run ?(ideal_adc = true) (task : Task.t) =
+  let tp = Timing.task_tp task in
+  let d1 = Timing.class1_delay task.Task.class1 in
+  let d2 = Timing.class2_delay task.Task.class2 in
+  let d3 = Timing.class3_latency task.Task.class3 in
+  let d4 = Timing.class4_delay task.Task.class4 in
+  let uses_adc = Task.uses_adc task in
+  let n = Task.iterations task in
+  let unit_free = Array.make Promise_analog.Adc.units_per_bank 0 in
+  let events = ref [] in
+  let emit iteration stage start finish =
+    events := { iteration; stage; start; finish } :: !events
+  in
+  let completion = ref 0 in
+  let adc_stalls = ref 0 in
+  let slip = ref 0 in
+  for i = 0 to n - 1 do
+    let issue = (i * tp) + !slip in
+    let t = ref issue in
+    if d1 > 0 then begin
+      emit i "S1" !t (!t + d1);
+      t := !t + d1
+    end;
+    if d2 > 0 then begin
+      emit i "S2" !t (!t + d2);
+      t := !t + d2
+    end;
+    if uses_adc then begin
+      let request = !t in
+      let start =
+        if ideal_adc then request
+        else begin
+          (* greedy: the soonest-free of the eight units *)
+          let u = ref 0 in
+          Array.iteri (fun k free -> if free < unit_free.(!u) then u := k) unit_free;
+          let start = max request unit_free.(!u) in
+          unit_free.(!u) <- start + d3;
+          let stall = start - request in
+          adc_stalls := !adc_stalls + stall;
+          slip := !slip + stall;
+          start
+        end
+      in
+      emit i "ADC" start (start + d3);
+      t := start + d3
+    end;
+    if d4 > 0 then begin
+      emit i "TH" !t (!t + d4);
+      t := !t + d4
+    end;
+    completion := max !completion !t
+  done;
+  { events = List.rev !events; completion = !completion; adc_stalls = !adc_stalls }
+
+let throughput_interval s =
+  let th_finishes =
+    List.filter_map
+      (fun e -> if e.stage = "TH" then Some e.finish else None)
+      s.events
+  in
+  (* stalls are bursty (one per ADC-unit reuse), so average over the
+     steady-state second half rather than sampling one gap *)
+  let n = List.length th_finishes in
+  if n < 2 then None
+  else
+    let arr = Array.of_list th_finishes in
+    let from = n / 2 in
+    let span = arr.(n - 1) - arr.(from) in
+    let gaps = n - 1 - from in
+    if gaps <= 0 then Some (arr.(n - 1) - arr.(n - 2))
+    else Some (int_of_float (Float.round (float_of_int span /. float_of_int gaps)))
+
+let matches_closed_form task =
+  let s = run ~ideal_adc:true task in
+  s.completion = Timing.task_cycles task

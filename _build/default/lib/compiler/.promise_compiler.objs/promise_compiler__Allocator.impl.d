@@ -1,0 +1,1 @@
+lib/compiler/allocator.ml: List Printf Program Promise_arch Promise_isa Result Task

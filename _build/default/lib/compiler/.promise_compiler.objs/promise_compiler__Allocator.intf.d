@@ -1,0 +1,1 @@
+lib/compiler/allocator.mli: Promise_isa

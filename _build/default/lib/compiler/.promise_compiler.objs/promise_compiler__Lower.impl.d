@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Float List Op_param Opcode Printf Program Promise_arch Promise_ir Promise_isa Result Task

@@ -1,0 +1,1 @@
+lib/compiler/lower.mli: Opcode Program Promise_arch Promise_ir Promise_isa Task

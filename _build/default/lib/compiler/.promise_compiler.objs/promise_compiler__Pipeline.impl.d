@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Lower Promise_ir Promise_isa Result Runtime Swing_opt

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Precision Promise_arch Promise_ir Promise_isa Runtime

@@ -1,0 +1,1 @@
+lib/compiler/precision.ml: Format Printf Promise_ml

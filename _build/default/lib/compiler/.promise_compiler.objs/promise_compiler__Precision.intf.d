@@ -1,0 +1,1 @@
+lib/compiler/precision.mli: Format Promise_ml

@@ -1,0 +1,1 @@
+lib/compiler/runtime.ml: Array Float Hashtbl List Lower Op_param Opcode Option Printf Promise_arch Promise_ir Promise_isa Promise_ml Result Task

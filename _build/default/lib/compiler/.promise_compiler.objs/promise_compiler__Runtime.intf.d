@@ -1,0 +1,1 @@
+lib/compiler/runtime.mli: Promise_arch Promise_ir

@@ -1,0 +1,1 @@
+lib/compiler/swing_opt.ml: List Option Precision Promise_analog Promise_ir Result

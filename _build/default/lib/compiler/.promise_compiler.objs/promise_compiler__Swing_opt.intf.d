@@ -1,0 +1,1 @@
+lib/compiler/swing_opt.mli: Precision Promise_ir

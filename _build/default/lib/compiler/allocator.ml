@@ -1,0 +1,118 @@
+open Promise_isa
+module Timing = Promise_arch.Timing
+
+type assignment = {
+  task : Task.t;
+  level : int;
+  first_bank : int;
+  start_cycle : int;
+  finish_cycle : int;
+}
+
+type plan = {
+  assignments : assignment list;
+  banks_used : int;
+  makespan : int;
+  pipelined_interval : int;
+}
+
+let ( let* ) = Result.bind
+
+(* Pack one level's independent tasks into waves of bank groups. Tasks
+   are placed greedily at the lowest free bank; when the machine is
+   full, a new wave starts after the slowest task of the current one. *)
+let pack_level ~total_banks ~level ~level_start tasks =
+  let* () =
+    match
+      List.find_opt (fun t -> Task.banks t > total_banks) tasks
+    with
+    | Some t ->
+        Error
+          (Printf.sprintf "task needs %d banks but the machine has %d"
+             (Task.banks t) total_banks)
+    | None -> Ok ()
+  in
+  let assignments = ref [] in
+  let wave_start = ref level_start in
+  let next_bank = ref 0 in
+  let wave_finish = ref level_start in
+  let peak = ref 0 in
+  List.iter
+    (fun task ->
+      let banks = Task.banks task in
+      if !next_bank + banks > total_banks then begin
+        (* close the wave *)
+        wave_start := !wave_finish;
+        next_bank := 0
+      end;
+      let start_cycle = !wave_start in
+      let finish_cycle = start_cycle + Timing.task_steady_cycles task in
+      assignments :=
+        { task; level; first_bank = !next_bank; start_cycle; finish_cycle }
+        :: !assignments;
+      next_bank := !next_bank + banks;
+      peak := max !peak !next_bank;
+      wave_finish := max !wave_finish finish_cycle)
+    tasks;
+  Ok (List.rev !assignments, !wave_finish, !peak)
+
+let plan ~total_banks tasks =
+  if total_banks < 1 then Error "total_banks must be >= 1"
+  else begin
+    let levels =
+      List.sort_uniq compare (List.map snd tasks)
+    in
+    let* assignments, makespan, peak =
+      List.fold_left
+        (fun acc level ->
+          let* assignments, t, peak = acc in
+          let level_tasks =
+            List.filter_map
+              (fun (task, l) -> if l = level then Some task else None)
+              tasks
+          in
+          let* placed, finish, level_peak =
+            pack_level ~total_banks ~level ~level_start:t level_tasks
+          in
+          Ok (assignments @ placed, finish, max peak level_peak))
+        (Ok ([], 0, 0))
+        levels
+    in
+    (* sustained interval = the slowest level's span (first start to
+       last finish within the level) *)
+    let level_span level =
+      let of_level = List.filter (fun a -> a.level = level) assignments in
+      match of_level with
+      | [] -> 0
+      | _ ->
+          let first =
+            List.fold_left (fun m a -> min m a.start_cycle) max_int of_level
+          in
+          let last =
+            List.fold_left (fun m a -> max m a.finish_cycle) 0 of_level
+          in
+          last - first
+    in
+    let pipelined_interval =
+      List.fold_left (fun acc level -> max acc (level_span level)) 1 levels
+    in
+    Ok { assignments; banks_used = peak; makespan; pipelined_interval }
+  end
+
+let of_program ~total_banks ~levels (program : Program.t) =
+  let* tagged =
+    let rec tag level remaining tasks acc =
+      match (remaining, tasks) with
+      | [], [] -> Ok (List.rev acc)
+      | [], _ -> Error "levels cover fewer tasks than the program has"
+      | 0 :: rest, tasks -> tag (level + 1) rest tasks acc
+      | _ :: _, [] -> Error "levels cover more tasks than the program has"
+      | n :: rest, task :: tasks ->
+          tag level ((n - 1) :: rest) tasks ((task, level) :: acc)
+    in
+    tag 0 levels program.Program.tasks []
+  in
+  plan ~total_banks tagged
+
+let decisions_per_second p =
+  1e9 /. (float_of_int (max 1 p.pipelined_interval) *. Promise_arch.Params.cycle_ns)

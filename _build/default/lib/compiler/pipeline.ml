@@ -1,0 +1,34 @@
+let ( let* ) = Result.bind
+
+let compile kernel =
+  let ssa = Promise_ir.Dsl.lower kernel in
+  Promise_ir.Pattern.match_function ssa
+
+let optimize = Swing_opt.optimize_graph
+
+let codegen = Lower.program_of_graph
+
+type report = {
+  graph : Promise_ir.Graph.t;
+  program : Promise_isa.Program.t;
+  binary : bytes;
+  assembly : string;
+  search_space : int;
+}
+
+let compile_to_binary kernel =
+  let* graph = compile kernel in
+  let* program = codegen graph in
+  Ok
+    {
+      graph;
+      program;
+      binary = Promise_isa.Program.to_binary program;
+      assembly = Promise_isa.Program.to_asm program;
+      search_space =
+        Swing_opt.search_space_size ~tasks:(Promise_ir.Graph.n_tasks graph);
+    }
+
+let run ?machine kernel bindings =
+  let* graph = compile kernel in
+  Runtime.run ?machine graph bindings

@@ -1,0 +1,38 @@
+(** The end-to-end compiler driver (paper Fig. 6): DSL ("Julia") →
+    SSA → PROMISE pass (pattern match) → compiler IR → energy
+    optimization → ISA code generation → runtime execution. *)
+
+(** [compile kernel] — frontend + PROMISE pass: the IR graph with all
+    swings at maximum (0b111). *)
+val compile : Promise_ir.Dsl.kernel -> (Promise_ir.Graph.t, string) result
+
+(** [optimize ?guard_bits g ~stats ~pm] — the analytic energy
+    optimization ({!Swing_opt.optimize_graph}). *)
+val optimize :
+  ?guard_bits:int ->
+  Promise_ir.Graph.t ->
+  stats:Precision.stats ->
+  pm:float ->
+  (Promise_ir.Graph.t * int, string) result
+
+(** [codegen g] — the binary-encodable ISA program. *)
+val codegen : Promise_ir.Graph.t -> (Promise_isa.Program.t, string) result
+
+(** A full compilation report. *)
+type report = {
+  graph : Promise_ir.Graph.t;
+  program : Promise_isa.Program.t;
+  binary : bytes;
+  assembly : string;
+  search_space : int;  (** 8^tasks *)
+}
+
+(** [compile_to_binary kernel] — DSL all the way to bytes. *)
+val compile_to_binary : Promise_ir.Dsl.kernel -> (report, string) result
+
+(** [run ?machine kernel bindings] — compile and execute. *)
+val run :
+  ?machine:Promise_arch.Machine.t ->
+  Promise_ir.Dsl.kernel ->
+  Runtime.bindings ->
+  (Runtime.run_result, string) result

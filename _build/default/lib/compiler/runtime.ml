@@ -1,0 +1,394 @@
+module At = Promise_ir.Abstract_task
+module Graph = Promise_ir.Graph
+module Machine = Promise_arch.Machine
+module Layout = Promise_arch.Layout
+module Bank = Promise_arch.Bank
+module Params = Promise_arch.Params
+module Fx = Promise_ml.Fixed_point
+open Promise_isa
+
+type bindings = {
+  matrices : (string, float array array) Hashtbl.t;
+  vectors : (string, float array) Hashtbl.t;
+  flat_lengths : (string, int) Hashtbl.t;
+}
+
+let bindings () =
+  {
+    matrices = Hashtbl.create 8;
+    vectors = Hashtbl.create 8;
+    flat_lengths = Hashtbl.create 8;
+  }
+
+let bind_matrix b name m = Hashtbl.replace b.matrices name m
+let bind_vector b name v = Hashtbl.replace b.vectors name v
+
+let bind_flat b name data ~cols =
+  if cols < 1 then invalid_arg "Runtime.bind_flat: cols must be >= 1";
+  let len = Array.length data in
+  let rows = (len + cols - 1) / cols in
+  let m =
+    Array.init rows (fun r ->
+        Array.init cols (fun c ->
+            let i = (r * cols) + c in
+            if i < len then data.(i) else 0.0))
+  in
+  Hashtbl.replace b.matrices name m;
+  Hashtbl.replace b.flat_lengths name len
+
+type task_output = {
+  values : float array;
+  decision : (int * float) option;
+}
+
+type run_result = {
+  outputs : (int * task_output) list;
+  machine : Machine.t;
+}
+
+let ( let* ) = Result.bind
+
+let required_banks g =
+  List.fold_left
+    (fun acc (_, at) ->
+      match
+        Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations
+      with
+      | Ok p -> max acc p.Layout.banks
+      | Error _ -> acc)
+    1 (Graph.tasks g)
+
+(* Joint or independent quantization scales; returns (w_codes, x_codes
+   option, rescale) where true value = rescale x (digital value computed
+   from the quantized data). *)
+let quantize_operands (at : At.t) w x_opt =
+  let headroom = 0.99 in
+  let scale_of max_abs = if max_abs <= 0.0 then 1.0 else max_abs /. headroom in
+  let quantize_mat_scaled k m =
+    Array.map (Array.map (fun v -> Fx.quantize (v /. k))) m
+  in
+  let quantize_vec_scaled k v = Array.map (fun e -> Fx.quantize (e /. k)) v in
+  match at.At.vec_op with
+  | At.Vo_mul_signed | At.Vo_mul_unsigned ->
+      let x = Option.get x_opt in
+      let kw = scale_of (Promise_ml.Linalg.mat_max_abs w) in
+      let kx = scale_of (Promise_ml.Linalg.max_abs x) in
+      (quantize_mat_scaled kw w, Some (quantize_vec_scaled kx x), kw *. kx)
+  | At.Vo_add | At.Vo_sub ->
+      let x = Option.get x_opt in
+      let k =
+        scale_of
+          (Float.max
+             (Promise_ml.Linalg.mat_max_abs w)
+             (Promise_ml.Linalg.max_abs x))
+      in
+      let rescale =
+        match at.At.red_op with
+        | At.Ro_sum | At.Ro_sum_abs -> k
+        | At.Ro_sum_square -> k *. k
+        | At.Ro_sum_compare -> 1.0
+      in
+      (quantize_mat_scaled k w, Some (quantize_vec_scaled k x), rescale)
+  | At.Vo_none ->
+      let kw = scale_of (Promise_ml.Linalg.mat_max_abs w) in
+      let rescale =
+        match at.At.red_op with
+        | At.Ro_sum | At.Ro_sum_abs -> kw
+        | At.Ro_sum_square -> kw *. kw
+        | At.Ro_sum_compare -> 1.0
+      in
+      (quantize_mat_scaled kw w, None, rescale)
+
+let resolve_w g b id (at : At.t) =
+  let from_edge =
+    List.exists
+      (fun (_, port) -> Graph.equal_port port Graph.W_input)
+      (Graph.predecessors g id)
+  in
+  if from_edge then
+    Error
+      (Printf.sprintf "task %S: W produced by another task is not supported"
+         at.At.name)
+  else
+    match Hashtbl.find_opt b.matrices at.At.w with
+    | None -> Error (Printf.sprintf "unbound W matrix %S" at.At.w)
+    | Some m ->
+        if Array.length m < at.At.loop_iterations then
+          Error
+            (Printf.sprintf "W matrix %S has %d rows, task needs %d" at.At.w
+               (Array.length m) at.At.loop_iterations)
+        else Ok (Array.sub m 0 at.At.loop_iterations)
+
+let resolve_x g b outputs id (at : At.t) =
+  if not (At.uses_x at) then Ok None
+  else
+    let from_edge =
+      List.find_opt
+        (fun (_, port) -> Graph.equal_port port Graph.X_input)
+        (Graph.predecessors g id)
+    in
+    match from_edge with
+    | Some (pid, _) -> (
+        match Hashtbl.find_opt outputs pid with
+        | Some out -> Ok (Some out.values)
+        | None -> Error (Printf.sprintf "producer %d has no output yet" pid))
+    | None -> (
+        match Hashtbl.find_opt b.vectors at.At.x with
+        | Some v -> Ok (Some v)
+        | None -> Error (Printf.sprintf "unbound X vector %S" at.At.x))
+
+(* ADC range matching: a digital preview of every per-bank charge-share
+   mean picks the largest power-of-two pre-ADC gain that keeps the
+   aggregate within ~0.7 of full scale (headroom for analog noise).
+   Mirrors Bank's gain staging exactly, minus noise and LUT shaping. *)
+let ideal_partial_mean (at : At.t) ~w_slice ~x_slice ~lanes =
+  let acc = ref 0.0 in
+  for lane = 0 to lanes - 1 do
+    let w = float_of_int w_slice.(lane) /. 128.0 in
+    let x =
+      match x_slice with
+      | Some xs -> float_of_int xs.(lane) /. 128.0
+      | None -> 0.0
+    in
+    let s1 =
+      match at.At.vec_op with
+      | At.Vo_add -> (w +. x) /. 2.0
+      | At.Vo_sub -> (w -. x) /. 2.0
+      | At.Vo_mul_signed -> w *. x
+      | At.Vo_mul_unsigned -> Float.abs w *. Float.abs x
+      | At.Vo_none -> w
+    in
+    let v =
+      match (at.At.vec_op, at.At.red_op) with
+      | (At.Vo_mul_signed | At.Vo_mul_unsigned), _ -> s1
+      | _, At.Ro_sum -> s1
+      | _, At.Ro_sum_abs -> Float.abs s1
+      | _, At.Ro_sum_square -> s1 *. s1
+      | _, At.Ro_sum_compare -> if s1 >= 0.0 then 1.0 else 0.0
+    in
+    acc := !acc +. v
+  done;
+  !acc /. float_of_int lanes
+
+let estimate_adc_gain (at : At.t) (plan : Layout.plan) ~w_codes ~x_for_row =
+  let lanes = plan.Layout.lanes_per_bank in
+  let max_abs = ref 0.0 in
+  Array.iteri
+    (fun r w_row ->
+      let x_row = x_for_row r in
+      for bank = 0 to plan.Layout.banks - 1 do
+        for segment = 0 to plan.Layout.segments - 1 do
+          let w_slice = Layout.slice_of_vector plan w_row ~bank ~segment in
+          let x_slice =
+            Option.map
+              (fun x -> Layout.slice_of_vector plan x ~bank ~segment)
+              x_row
+          in
+          let m = ideal_partial_mean at ~w_slice ~x_slice ~lanes in
+          max_abs := Float.max !max_abs (Float.abs m)
+        done
+      done)
+    w_codes;
+  let target = 0.7 in
+  let rec grow g =
+    if g >= 64.0 then 64.0
+    else if 2.0 *. g *. !max_abs <= target then grow (2.0 *. g)
+    else g
+  in
+  if !max_abs <= 0.0 then 64.0 else grow 1.0
+
+let better_decision class4 (a : int * float) (b : (int * float) option) =
+  match b with
+  | None -> Some a
+  | Some (_, bv) ->
+      let _, av = a in
+      let keep_a =
+        match class4 with
+        | Opcode.C4_min -> av < bv
+        | Opcode.C4_max -> av > bv
+        | _ -> false
+      in
+      if keep_a then Some a else b
+
+let dest_xreg_index = Params.xreg_depth - 1
+
+let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
+  let* () =
+    match x_opt with
+    | Some x
+      when Array.length x <> at.At.vector_len
+           && Array.length x <> at.At.vector_len * at.At.loop_iterations ->
+        Error
+          (Printf.sprintf
+             "task %S: X has %d elements, expected %d (broadcast) or %d \
+              (streaming)"
+             at.At.name (Array.length x) at.At.vector_len
+             (at.At.vector_len * at.At.loop_iterations))
+    | _ -> Ok ()
+  in
+  let streaming =
+    match x_opt with
+    | Some x ->
+        at.At.loop_iterations > 1
+        && Array.length x = at.At.vector_len * at.At.loop_iterations
+    | None -> false
+  in
+  let w_codes, x_codes, rescale = quantize_operands at w x_opt in
+  let groups = Machine.n_banks machine in
+  let values = ref [] and decision = ref None in
+  let run_chunks plan ~adc_gain ~rows_of_chunk ~w_rows_of_chunk ~x_of_chunk
+      ~n_chunks =
+    let* template =
+      Lower.lower_chunk ~terminal at ~plan ~chunk:0 ~w_base:0 ~xreg_base:0
+    in
+    let class4 = template.Task.class4 in
+    let gain =
+      float_of_int plan.Layout.lanes_per_bank
+      *. Bank.analog_scale template *. rescale
+    in
+    let max_group = max 1 (groups / plan.Layout.banks) in
+    let rec go chunk row_offset =
+      if chunk >= n_chunks then Ok ()
+      else
+        let rows_c = rows_of_chunk chunk in
+        let* task =
+          if rows_c = plan.Layout.rows_per_task then Ok template
+          else
+            Lower.lower_chunk ~terminal at
+              ~plan:
+                {
+                  plan with
+                  Layout.rows = rows_c;
+                  rows_per_task = rows_c;
+                  tasks = 1;
+                }
+              ~chunk:0 ~w_base:0 ~xreg_base:0
+        in
+        let group = chunk mod max_group in
+        Machine.load_weights machine ~group ~base:0 ~plan
+          (w_rows_of_chunk chunk rows_c);
+        (match x_of_chunk chunk with
+        | Some xc -> Machine.load_x machine ~group ~xreg_base:0 ~plan xc
+        | None -> ());
+        let th =
+          {
+            Promise_arch.Th_unit.op = class4;
+            acc_num = task.Task.op_param.Op_param.acc_num;
+            threshold = at.At.threshold;
+            gain;
+            des = task.Task.op_param.Op_param.des;
+          }
+        in
+        let launch =
+          {
+            Machine.task;
+            bank_group = group;
+            active_lanes = plan.Layout.lanes_per_bank;
+            adc_gain;
+            th;
+            dest_xreg = dest_xreg_index;
+          }
+        in
+        let result = Machine.execute machine launch in
+        values := !values @ result.Machine.emitted @ result.Machine.xreg_out;
+        (match result.Machine.argext with
+        | Some (gidx, v) ->
+            decision := better_decision class4 (row_offset + gidx, v) !decision
+        | None -> ());
+        go (chunk + 1) (row_offset + rows_c)
+    in
+    go 0 0
+  in
+  let* () =
+    if streaming then
+      let x = Option.get x_codes in
+      let* plan = Layout.plan ~vector_len:at.At.vector_len ~rows:1 in
+      let x_row r =
+        Array.sub x (r * at.At.vector_len) at.At.vector_len
+      in
+      let adc_gain =
+        estimate_adc_gain at plan ~w_codes
+          ~x_for_row:(fun r -> Some (x_row r))
+      in
+      run_chunks plan ~adc_gain
+        ~rows_of_chunk:(fun _ -> 1)
+        ~w_rows_of_chunk:(fun chunk _ -> [| w_codes.(chunk) |])
+        ~x_of_chunk:(fun chunk -> Some (x_row chunk))
+        ~n_chunks:at.At.loop_iterations
+    else
+      let* plan =
+        Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations
+      in
+      let adc_gain =
+        estimate_adc_gain at plan ~w_codes ~x_for_row:(fun _ -> x_codes)
+      in
+      run_chunks plan ~adc_gain
+        ~rows_of_chunk:(fun chunk -> Layout.chunk_rows plan chunk)
+        ~w_rows_of_chunk:(fun chunk rows_c ->
+          Array.sub w_codes (chunk * plan.Layout.rows_per_task) rows_c)
+        ~x_of_chunk:(fun _ -> x_codes)
+        ~n_chunks:plan.Layout.tasks
+  in
+  let values = Array.of_list !values in
+  (* Decision tasks surface their extremum; mean tasks reduce on host. *)
+  match at.At.digital_op with
+  | At.Do_mean ->
+      let total = Array.fold_left ( +. ) 0.0 values in
+      Ok { values = [| total /. float_of_int original_n |]; decision = None }
+  | At.Do_min | At.Do_max ->
+      Ok { values; decision = !decision }
+  | At.Do_none | At.Do_sigmoid | At.Do_relu | At.Do_threshold ->
+      Ok { values; decision = None }
+
+let run ?machine g b =
+  let machine =
+    match machine with
+    | Some m -> m
+    | None ->
+        Machine.create
+          {
+            Machine.banks = required_banks g;
+            profile = Bank.Silicon;
+            noise_seed = Some 42;
+          }
+  in
+  let order = Graph.topological_order g in
+  let outputs = Hashtbl.create 8 in
+  let* ids =
+    List.fold_left
+      (fun acc id ->
+        let* ids = acc in
+        let at = Graph.task g id in
+        let* w = resolve_w g b id at in
+        let* x_opt = resolve_x g b outputs id at in
+        let original_n =
+          match Hashtbl.find_opt b.flat_lengths at.At.w with
+          | Some n -> n
+          | None -> at.At.vector_len * at.At.loop_iterations
+        in
+        let terminal = Graph.successors g id = [] in
+        let* out = run_task machine at ~terminal ~w ~x_opt ~original_n in
+        Hashtbl.replace outputs id out;
+        Ok (id :: ids))
+      (Ok []) order
+  in
+  let ordered = List.rev ids in
+  Ok
+    {
+      outputs = List.map (fun id -> (id, Hashtbl.find outputs id)) ordered;
+      machine;
+    }
+
+let output_of r id =
+  match List.assoc_opt id r.outputs with
+  | Some o -> Ok o
+  | None -> Error (Printf.sprintf "no output for node %d" id)
+
+let final_output r =
+  match List.rev r.outputs with
+  | (_, o) :: _ -> Ok o
+  | [] -> Error "empty run result"
+
+module For_tests = struct
+  let estimate_adc_gain = estimate_adc_gain
+end

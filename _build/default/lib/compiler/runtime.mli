@@ -1,0 +1,68 @@
+(** The PROMISE host runtime (paper §4.3).
+
+    Given a compiler-IR graph and float data bindings, the runtime
+    - quantizes W/X to the 8-bit bit-cell format, choosing a joint scale
+      for distance (add/subtract) kernels and independent scales for
+      multiply kernels, and folds the scales plus the analog gain
+      staging into the TH digital pre-gain so every emitted value is in
+      the original units;
+    - plans the data layout ({!Promise_arch.Layout}), stages weights and
+      the X vector into the machine, and launches one Task per row
+      chunk (RPT_NUM ≤ 128);
+    - streams element-wise two-array reductions (the Linear-Regression
+      [mean_product]) one row per launch, reloading X-REG each time —
+      the paper's §6.2 re-access penalty;
+    - chains DAG edges (a producer's output becomes the consumer's X),
+      combines min/max decisions across chunks, and divides [Do_mean]
+      accumulations by N on the host. *)
+
+type bindings
+
+val bindings : unit -> bindings
+val bind_matrix : bindings -> string -> float array array -> unit
+val bind_vector : bindings -> string -> float array -> unit
+
+(** [bind_flat b name data ~cols] — reshape a long 1-D array into a
+    [⌈len/cols⌉ × cols] matrix binding (zero-padded), the layout the
+    whole-array reductions expect. *)
+val bind_flat : bindings -> string -> float array -> cols:int -> unit
+
+type task_output = {
+  values : float array;  (** per-row outputs, original units *)
+  decision : (int * float) option;  (** fused argmin/argmax (row, value) *)
+}
+
+type run_result = {
+  outputs : (int * task_output) list;  (** by IR node id, topo order *)
+  machine : Promise_arch.Machine.t;
+}
+
+(** [required_banks g] — banks the graph needs at one chunk per group
+    (the runtime reuses groups when the machine is smaller). *)
+val required_banks : Promise_ir.Graph.t -> int
+
+(** [run ?machine g b] — execute the graph. When [machine] is omitted, a
+    default [Silicon]-profile machine with {!required_banks} banks
+    (seeded 42) is created. *)
+val run :
+  ?machine:Promise_arch.Machine.t ->
+  Promise_ir.Graph.t ->
+  bindings ->
+  (run_result, string) result
+
+val output_of : run_result -> int -> (task_output, string) result
+
+(** [final_output r] — output of the last node in topological order. *)
+val final_output : run_result -> (task_output, string) result
+
+(** Internals exposed for tests. *)
+module For_tests : sig
+  (** [estimate_adc_gain at plan ~w_codes ~x_for_row] — the power-of-two
+      ADC range-matching gain the runtime would program (see DESIGN.md). *)
+  val estimate_adc_gain :
+    Promise_ir.Abstract_task.t ->
+    Promise_arch.Layout.plan ->
+    w_codes:int array array ->
+    x_for_row:(int -> int array option) ->
+    float
+end

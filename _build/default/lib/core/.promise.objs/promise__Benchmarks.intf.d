@@ -1,0 +1,1 @@
+lib/core/benchmarks.mli: Promise_arch Promise_compiler Promise_energy Promise_ir Promise_isa

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Benchmarks Format List Promise_analog Promise_arch Promise_compiler Promise_energy Promise_ir Promise_isa Promise_ml String Validation

@@ -1,0 +1,1 @@
+lib/core/validation.ml: Array Benchmarks Float Format List Printf Promise_analog Promise_arch Promise_compiler Promise_energy Promise_ir Promise_isa Promise_ml Result

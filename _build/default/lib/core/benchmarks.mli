@@ -1,0 +1,125 @@
+(** The nine Table-2 benchmarks, wired end-to-end: synthetic data →
+    model training (reference float implementation) → DSL kernel →
+    compiled IR graph → PROMISE execution → accuracy, energy and
+    throughput — plus the CONV-8b / CONV-OPT baseline workloads of §5.
+
+    Every benchmark is deterministic (seeded). Constructors are lazy
+    and memoized per configuration: building a benchmark trains its
+    model once. *)
+
+module Graph = Promise_ir.Graph
+module Program = Promise_isa.Program
+module Model = Promise_energy.Model
+module Conv = Promise_energy.Conv
+module Bank = Promise_arch.Bank
+
+type eval = {
+  promise_accuracy : float;
+  reference_accuracy : float;
+  mismatch : float;  (** accuracy drop, clamped at 0 *)
+}
+
+type t = {
+  name : string;
+  short : string;  (** Figure-10/12 axis label *)
+  abstract_tasks : int;
+  graph : Graph.t;  (** swings at maximum *)
+  per_decision_program : Program.t;
+      (** ISA program for one inference decision *)
+  banks : int;  (** banks the program uses *)
+  conv_workload : Conv.workload;  (** same decision on CONV *)
+  conv_opt_bits : int;  (** minimum digital precision (CONV-OPT) *)
+  reference_accuracy : float;
+  is_classifier : bool;
+  evaluate :
+    ?seed:int ->
+    ?profile:Promise_arch.Bank.profile ->
+    swings:int list ->
+    unit ->
+    eval;
+      (** run the benchmark's test set ([profile] defaults to
+          [Silicon]; pass [Custom _] for the error-source ablation);
+          [swings] has one entry per AbstractTask *)
+  stats : Promise_compiler.Precision.stats option;
+      (** Sakr back-prop statistics (DNNs only) *)
+}
+
+(** {2 The Figure-10 suite (single-AbstractTask kernels + LinReg)} *)
+
+val matched_filter : unit -> t
+(** Gunshot detection, N = 512, 100 windows. *)
+
+val matched_filter_sized : int -> t
+(** Table-2 size variants: N ∈ {256, 512, 1024}. *)
+
+val template_l1 : unit -> t
+val template_l2 : unit -> t
+(** Face recognition, 64 candidates of 16×16. *)
+
+val template_sized : [ `L1 | `L2 ] * (int * int) -> t
+(** Table-2 size variants: 16×16, 22×23, 32×33. *)
+
+val svm : unit -> t
+(** Face detection, 16×16 + bias, linear SVM. *)
+
+val knn_l1 : unit -> t
+val knn_l2 : unit -> t
+(** Character recognition, 128 stored 16×16 samples, k = 5. *)
+
+val knn_sized : [ `L1 | `L2 ] * (int * int) -> t
+(** Table-2 size variants: 16×16, 22×23, 32×33. *)
+
+val pca : unit -> t
+(** Four-component feature extraction, 16×16 faces (not a classifier). *)
+
+val linreg : unit -> t
+(** 2-D linear regression over 8192 samples: 4 AbstractTasks. *)
+
+(** {2 The Figure-12 DNNs (MNIST-like 28×28 digits)} *)
+
+type dnn_variant = D1 | D2 | D3
+(** 784-128-10, 784-256-128-10, 784-512-256-128-10. *)
+
+val dnn : dnn_variant -> t
+
+(** {2 Suites} *)
+
+val fig10_suite : unit -> t list
+(** MatchFilt, TM-L1, TM-L2, SVM, kNN-L1, kNN-L2, PCA, LinReg. *)
+
+val fig12_suite : unit -> t list
+(** The six classifiers + DNN-1/2/3. *)
+
+val size_variants : unit -> t list
+(** The Table-2 problem-size sweep: matched filter at N ∈
+    {256, 512, 1024}, template matching and k-NN (L1) at 16×16,
+    22×23 and 32×33. *)
+
+(** {2 Derived metrics} *)
+
+(** [program_at_swings b swings] — re-lower with per-task swings. *)
+val program_at_swings : t -> int list -> Program.t
+
+(** [promise_energy b ~swings] — Eq. (6) per decision. *)
+val promise_energy : t -> swings:int list -> Model.breakdown
+
+val promise_cycles : t -> int
+val max_swings : t -> int list
+
+(** [optimize b ~pm] — the compiler energy optimization: analytic
+    (Sakr + Eq. 3) for DNNs, brute-force sweep otherwise. Returns the
+    per-task swings and the evaluation at those swings. *)
+val optimize : t -> pm:float -> (int list * eval, string) result
+
+(** {2 State-of-the-art comparison workloads (§6.2)} *)
+
+(** [knn_soa_program ~metric] — the exact [7] configuration: 8-bit
+    128-dim X against 128 W_j, single bank. *)
+val knn_soa_program :
+  metric:[ `L1 | `L2 ] -> Program.t
+
+(** [dnn_soa ()] — (program, steady energy pJ per decision, sustained
+    decision period ns) for the 784-512-256-128-10 network with row
+    chunks on concurrent bank groups and layers pipelined across the
+    decision stream (the paper's 36-bank configuration). *)
+val dnn_soa : unit -> Program.t * float * float

@@ -1,0 +1,1 @@
+lib/energy/cm.ml: List Model Program Promise_arch Promise_isa Tables Task Timing

@@ -1,0 +1,1 @@
+lib/energy/cm.mli: Model Promise_isa

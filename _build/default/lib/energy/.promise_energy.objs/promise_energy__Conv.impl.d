@@ -1,0 +1,1 @@
+lib/energy/conv.ml: Model Promise_arch Tables

@@ -1,0 +1,1 @@
+lib/energy/dma.ml: List Promise_arch Promise_ir

@@ -1,0 +1,1 @@
+lib/energy/dma.mli: Promise_ir

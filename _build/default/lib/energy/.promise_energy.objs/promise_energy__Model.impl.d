@@ -1,0 +1,1 @@
+lib/energy/model.ml: Crossbank Format List Op_param Params Program Promise_arch Promise_isa Tables Task Timing Trace

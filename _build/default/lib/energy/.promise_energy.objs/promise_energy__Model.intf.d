@@ -1,0 +1,1 @@
+lib/energy/model.mli: Format Promise_arch Promise_isa

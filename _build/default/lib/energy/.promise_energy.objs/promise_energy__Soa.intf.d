@@ -1,0 +1,1 @@
+lib/energy/soa.mli: Format Scaling

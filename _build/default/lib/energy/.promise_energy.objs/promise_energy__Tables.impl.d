@@ -1,0 +1,1 @@
+lib/energy/tables.ml: List Opcode Promise_analog Promise_arch Promise_isa Timing

@@ -1,0 +1,1 @@
+lib/energy/tables.mli: Promise_isa

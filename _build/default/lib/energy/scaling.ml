@@ -1,0 +1,18 @@
+type node = { nm : float; vdd : float; finfet : bool }
+
+let n14_finfet = { nm = 14.0; vdd = 0.8; finfet = true }
+let n28_planar = { nm = 28.0; vdd = 0.9; finfet = false }
+let n65_planar = { nm = 65.0; vdd = 1.2; finfet = false }
+
+let finfet_to_planar_energy_factor = 2.1
+
+let energy_scale ~from_ ~to_ =
+  let cap = to_.nm /. from_.nm in
+  let v = (to_.vdd /. from_.vdd) ** 2.0 in
+  let drive =
+    if from_.finfet && not to_.finfet then finfet_to_planar_energy_factor
+    else 1.0
+  in
+  cap *. v *. drive
+
+let delay_scale ~from_ ~to_ = to_.nm /. from_.nm *. (to_.vdd /. from_.vdd)

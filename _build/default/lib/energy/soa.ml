@@ -1,0 +1,84 @@
+type published = {
+  name : string;
+  node : Scaling.node;
+  energy_per_decision_j : float;
+  decisions_per_s : float;
+  note : string;
+}
+
+let knn_l1_14nm =
+  {
+    name = "k-NN accelerator [7], L1";
+    node = Scaling.n14_finfet;
+    energy_per_decision_j = 3.37e-9;
+    decisions_per_s = 21.5e6;
+    note = "8-bit 128-dim X against 128 W_j, reconfigurable k-NN";
+  }
+
+let knn_l2_14nm =
+  {
+    knn_l1_14nm with
+    name = "k-NN accelerator [7], L2";
+    energy_per_decision_j = 3.84e-9;
+    decisions_per_s = 20.3e6;
+  }
+
+let dnn_28nm =
+  {
+    name = "sparse DNN engine [6]";
+    node = Scaling.n28_planar;
+    energy_per_decision_j = 0.57e-6;
+    decisions_per_s = 28e3;
+    note =
+      "784-256-256-256-10, zero-skipping + RAZOR; PROMISE network ~69% \
+       larger";
+  }
+
+type comparison = {
+  published : published;
+  scaled_energy_j : float;
+  scaled_decisions_per_s : float;
+  ours_energy_j : float;
+  ours_decisions_per_s : float;
+  energy_ratio : float;
+  throughput_ratio : float;
+  edp_ratio : float;
+}
+
+let compare ?(scale_to_65nm = true) published ~ours_energy_j
+    ~ours_decisions_per_s =
+  let e_scale, d_scale =
+    if scale_to_65nm then
+      ( Scaling.energy_scale ~from_:published.node ~to_:Scaling.n65_planar,
+        Scaling.delay_scale ~from_:published.node ~to_:Scaling.n65_planar )
+    else (1.0, 1.0)
+  in
+  let scaled_energy_j = published.energy_per_decision_j *. e_scale in
+  let scaled_decisions_per_s = published.decisions_per_s /. d_scale in
+  let energy_ratio = scaled_energy_j /. ours_energy_j in
+  let throughput_ratio = ours_decisions_per_s /. scaled_decisions_per_s in
+  let edp pub_e pub_r our_e our_r = pub_e /. pub_r /. (our_e /. our_r) in
+  {
+    published;
+    scaled_energy_j;
+    scaled_decisions_per_s;
+    ours_energy_j;
+    ours_decisions_per_s;
+    energy_ratio;
+    throughput_ratio;
+    edp_ratio =
+      edp scaled_energy_j scaled_decisions_per_s ours_energy_j
+        ours_decisions_per_s;
+  }
+
+let pp_comparison ppf c =
+  Format.fprintf ppf
+    "@[<v>%s (%s)@,\
+     published: %.3g J/decision, %.3g decisions/s@,\
+     scaled to 65 nm: %.3g J, %.3g /s@,\
+     PROMISE: %.3g J/decision, %.3g decisions/s@,\
+     energy ratio %.2fx, throughput ratio %.2fx, EDP ratio %.2fx@]"
+    c.published.name c.published.note c.published.energy_per_decision_j
+    c.published.decisions_per_s c.scaled_energy_j c.scaled_decisions_per_s
+    c.ours_energy_j c.ours_decisions_per_s c.energy_ratio c.throughput_ratio
+    c.edp_ratio

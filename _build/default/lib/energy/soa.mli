@@ -1,0 +1,46 @@
+(** State-of-the-art silicon comparisons (paper §6.2).
+
+    Published numbers of the two ASIC prototypes the paper compares
+    against, and the comparison arithmetic (optionally process-scaled to
+    65 nm via {!Scaling}). *)
+
+type published = {
+  name : string;
+  node : Scaling.node;
+  energy_per_decision_j : float;
+  decisions_per_s : float;
+  note : string;
+}
+
+val knn_l1_14nm : published
+(** [7]: 3.37 nJ/decision, 21.5 M decisions/s, L1, 14 nm FinFET. *)
+
+val knn_l2_14nm : published
+(** [7]: 3.84 nJ/decision, 20.3 M decisions/s, L2. *)
+
+val dnn_28nm : published
+(** [6]: 0.57 µJ/decision, 28 K decisions/s, 8-bit 5-layer
+    784-256-256-256-10 DNN, 28 nm (PROMISE's network is ~69% larger). *)
+
+type comparison = {
+  published : published;
+  scaled_energy_j : float;
+  scaled_decisions_per_s : float;
+  ours_energy_j : float;
+  ours_decisions_per_s : float;
+  energy_ratio : float;  (** scaled published / ours; > 1 ⇒ PROMISE wins *)
+  throughput_ratio : float;  (** ours / scaled published *)
+  edp_ratio : float;  (** scaled published EDP / ours; > 1 ⇒ PROMISE wins *)
+}
+
+(** [compare ?scale_to_65nm pub ~ours_energy_j ~ours_decisions_per_s] —
+    [scale_to_65nm] defaults to [true] (the paper scales the 14 nm k-NN
+    accelerator but compares the 28 nm DNN accelerator raw). *)
+val compare :
+  ?scale_to_65nm:bool ->
+  published ->
+  ours_energy_j:float ->
+  ours_decisions_per_s:float ->
+  comparison
+
+val pp_comparison : Format.formatter -> comparison -> unit

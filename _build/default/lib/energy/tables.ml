@@ -1,0 +1,76 @@
+open Promise_isa
+
+let class1_energy_pj = function
+  | Opcode.C1_none -> 0.0
+  | Opcode.C1_write -> 73.0
+  | Opcode.C1_read -> 33.0
+  | Opcode.C1_aread -> 61.0
+  | Opcode.C1_asubt -> 103.0
+  | Opcode.C1_aadd -> 103.0
+
+let asd_energy_pj = function
+  | Opcode.Asd_none -> 0.0
+  | Opcode.Asd_compare -> 5.0
+  | Opcode.Asd_absolute -> 12.0
+  | Opcode.Asd_square -> 38.0
+  | Opcode.Asd_sign_mult -> 16.0
+  | Opcode.Asd_unsign_mult -> 16.0
+
+let class2_energy_pj (c2 : Opcode.class2) = asd_energy_pj c2.asd
+
+let class3_energy_pj = function Opcode.C3_none -> 0.0 | Opcode.C3_adc -> 6.0
+
+let class4_energy_pj = function
+  | Opcode.C4_accumulate | Opcode.C4_mean | Opcode.C4_threshold
+  | Opcode.C4_max | Opcode.C4_min | Opcode.C4_sigmoid | Opcode.C4_relu ->
+      0.05
+
+let leakage_pj_per_cycle_per_bank = 0.6
+let ctrl_pj_per_cycle = 5.4
+let crossbank_transfer_pj = 0.5
+
+let class1_energy_at_swing op ~swing =
+  let base = class1_energy_pj op in
+  if Opcode.class1_is_analog op then
+    base *. Promise_analog.Swing.read_energy_scale swing
+  else base
+
+let table3 () =
+  let open Promise_arch in
+  let c1 =
+    List.filter_map
+      (fun op ->
+        if Opcode.equal_class1 op Opcode.C1_none then None
+        else
+          Some
+            ( 1,
+              Opcode.class1_name op,
+              Timing.class1_delay op,
+              class1_energy_pj op ))
+      Opcode.all_class1
+  in
+  let c2 =
+    List.filter_map
+      (fun asd ->
+        if Opcode.equal_asd asd Opcode.Asd_none then None
+        else
+          let c2 = { Opcode.asd; avd = true } in
+          Some
+            (2, Opcode.asd_name asd, Timing.class2_delay c2, class2_energy_pj c2))
+      Opcode.all_asd
+  in
+  let c3 =
+    [
+      ( 3,
+        "ADC",
+        Timing.class3_latency Opcode.C3_adc,
+        class3_energy_pj Opcode.C3_adc );
+    ]
+  in
+  let c4 =
+    List.map
+      (fun op ->
+        (4, Opcode.class4_name op, Timing.class4_delay op, class4_energy_pj op))
+      Opcode.all_class4
+  in
+  c1 @ c2 @ c3 @ c4

@@ -1,0 +1,29 @@
+(** Energy and delay per operation (paper Table 3), TSMC 65 nm GP,
+    1 cycle = 1 ns. Energies are pJ per bank per operation at maximum
+    swing (SWING = 111). *)
+
+val class1_energy_pj : Promise_isa.Opcode.class1 -> float
+val class2_energy_pj : Promise_isa.Opcode.class2 -> float
+val class3_energy_pj : Promise_isa.Opcode.class3 -> float
+
+val class4_energy_pj : Promise_isa.Opcode.class4 -> float
+(** ≈ 0 in Table 3; we use 0.05 pJ so TH activity is visible in traces. *)
+
+val leakage_pj_per_cycle_per_bank : float
+(** 0.6 pJ / ns / bank. *)
+
+val ctrl_pj_per_cycle : float
+(** 5.4 pJ / ns (the CTRL block; one per machine — see DESIGN.md). *)
+
+val crossbank_transfer_pj : float
+(** 0.5 pJ per 8-bit word on the cross-bank rail (§3.1). *)
+
+(** [class1_energy_at_swing op ~swing] — Class-1 analog energies scale
+    with the bit-line swing: half fixed, half ∝ ΔV_BL
+    ({!Promise_analog.Swing.read_energy_scale}); digital read/write are
+    swing-independent. *)
+val class1_energy_at_swing : Promise_isa.Opcode.class1 -> swing:int -> float
+
+(** All rows of Table 3 as (class, name, delay cycles, energy pJ), for
+    printing the table reproduction. *)
+val table3 : unit -> (int * string * int * float) list

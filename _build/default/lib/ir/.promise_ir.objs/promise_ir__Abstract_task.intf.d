@@ -1,0 +1,1 @@
+lib/ir/abstract_task.pp.mli: Format

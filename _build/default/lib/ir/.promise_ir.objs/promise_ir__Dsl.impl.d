@@ -1,0 +1,1 @@
+lib/ir/dsl.pp.ml: Array List Option Printf Ssa String

@@ -1,0 +1,1 @@
+lib/ir/dsl.pp.mli: Ssa

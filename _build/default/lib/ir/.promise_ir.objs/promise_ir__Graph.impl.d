@@ -1,0 +1,1 @@
+lib/ir/graph.pp.ml: Abstract_task Format Hashtbl Int List Map Ppx_deriving_runtime Printf Result String

@@ -1,0 +1,1 @@
+lib/ir/graph.pp.mli: Abstract_task Format

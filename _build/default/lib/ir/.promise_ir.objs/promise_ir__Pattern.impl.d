@@ -1,0 +1,1 @@
+lib/ir/pattern.pp.ml: Abstract_task Array Format Graph List Option Printf Result Seq Ssa String

@@ -1,0 +1,1 @@
+lib/ir/pattern.pp.mli: Abstract_task Format Graph Ssa

@@ -1,0 +1,1 @@
+lib/ir/sexp_frontend.pp.ml: Dsl Format List Result String

@@ -1,0 +1,1 @@
+lib/ir/sexp_frontend.pp.mli: Dsl Format

@@ -1,0 +1,1 @@
+lib/ir/ssa.pp.ml: Array Format Hashtbl List Option Ppx_deriving_runtime Printf Result String

@@ -1,0 +1,204 @@
+type decl = string * Ssa.ty
+
+let matrix name ~rows ~cols = (name, Ssa.Matrix (rows, cols))
+let vector name ~len = (name, Ssa.Vector len)
+let out_vector name ~len = (name, Ssa.Vector len)
+
+type vexpr =
+  | Row of string
+  | Xvec of string
+  | Vbin of Ssa.vec_binop * vexpr * vexpr
+  | Vun of Ssa.vec_unop * vexpr
+
+let row w = Row w
+let xvec x = Xvec x
+let vadd a b = Vbin (Ssa.Vadd, a, b)
+let vsub a b = Vbin (Ssa.Vsub, a, b)
+let vmul a b = Vbin (Ssa.Vmul, a, b)
+let vabs a = Vun (Ssa.Vabs, a)
+let vsquare a = Vun (Ssa.Vsquare, a)
+let vcompare a = Vun (Ssa.Vcompare, a)
+
+type sexpr = Sum of vexpr | Sunop of Ssa.scalar_unop * sexpr
+
+let sum v = Sum v
+let sigmoid s = Sunop (Ssa.Usigmoid, s)
+let relu s = Sunop (Ssa.Urelu, s)
+let sthreshold c s = Sunop (Ssa.Uthreshold c, s)
+let dot w x = sum (vmul (row w) (xvec x))
+let l1_distance w x = sum (vabs (vsub (row w) (xvec x)))
+let l2_distance w x = sum (vsquare (vsub (row w) (xvec x)))
+
+type direction = Up | Down
+
+type stmt =
+  | For_store of { iterations : int; out : string; body : sexpr;
+                   direction : direction }
+  | Lib_call of string * string list
+
+let for_store ~iterations ~out body =
+  if iterations < 1 then invalid_arg "Dsl.for_store: iterations must be >= 1";
+  For_store { iterations; out; body; direction = Up }
+
+let for_store_countdown ~iterations ~out body =
+  if iterations < 1 then
+    invalid_arg "Dsl.for_store_countdown: iterations must be >= 1";
+  For_store { iterations; out; body; direction = Down }
+
+let argmin out = Lib_call ("argmin", [ out ])
+let argmax out = Lib_call ("argmax", [ out ])
+let mean w = Lib_call ("mean", [ w ])
+let mean_square w = Lib_call ("mean_square", [ w ])
+let mean_product u v = Lib_call ("mean_product", [ u; v ])
+
+type kernel = { name : string; decls : decl list; stmts : stmt list }
+
+let kernel ~name ~decls stmts = { name; decls; stmts }
+
+(* Lowering: hand-rolled block assembly (the loop phi forward-references
+   the induction update, so blocks are built as buffers and the phi is
+   patched once the update's register id is known). *)
+
+type block_buf = {
+  label : string;
+  first_index : int;
+  buf : Ssa.instr array ref;
+  mutable len : int;
+  mutable terminator : Ssa.terminator option;
+}
+
+let lower k =
+  let declared name =
+    if not (List.exists (fun (n, _) -> String.equal n name) k.decls) then
+      invalid_arg (Printf.sprintf "Dsl.lower: undeclared array %S" name)
+  in
+  let counter = ref 0 in
+  let blocks = ref [] in
+  let placeholder = Ssa.Load { ptr = Ssa.Const_int 0 } in
+  let new_block label =
+    let b =
+      {
+        label;
+        first_index = !counter;
+        buf = ref (Array.make 8 placeholder);
+        len = 0;
+        terminator = None;
+      }
+    in
+    blocks := b :: !blocks;
+    b
+  in
+  let emit b instr =
+    if b.len = Array.length !(b.buf) then begin
+      let bigger = Array.make (2 * b.len) instr in
+      Array.blit !(b.buf) 0 bigger 0 b.len;
+      b.buf := bigger
+    end;
+    !(b.buf).(b.len) <- instr;
+    b.len <- b.len + 1;
+    let id = !counter in
+    incr counter;
+    Ssa.Vreg id
+  in
+  let patch_phi b phi_value instr =
+    match phi_value with
+    | Ssa.Vreg id -> !(b.buf).(id - b.first_index) <- instr
+    | _ -> assert false
+  in
+  let rec emit_vexpr b ~iv = function
+    | Row w ->
+        declared w;
+        emit b (Ssa.Getindex { matrix = Ssa.Arg w; index = iv })
+    | Xvec x ->
+        declared x;
+        Ssa.Arg x
+    | Vbin (op, a, c) ->
+        let lhs = emit_vexpr b ~iv a in
+        let rhs = emit_vexpr b ~iv c in
+        emit b (Ssa.Vec_binop { op; lhs; rhs })
+    | Vun (op, a) ->
+        let operand = emit_vexpr b ~iv a in
+        emit b (Ssa.Vec_unop { op; operand })
+  in
+  let rec emit_sexpr b ~iv = function
+    | Sum v ->
+        let operand = emit_vexpr b ~iv v in
+        emit b (Ssa.Reduce { op = Ssa.Rsum; operand })
+    | Sunop (op, s) ->
+        let operand = emit_sexpr b ~iv s in
+        emit b (Ssa.Scalar_unop { op; operand })
+  in
+  let entry = new_block "entry" in
+  let fresh_label =
+    let n = ref 0 in
+    fun base ->
+      incr n;
+      Printf.sprintf "%s%d" base !n
+  in
+  let current = ref entry in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Lib_call (fn, args) ->
+          List.iter declared args;
+          ignore
+            (emit !current
+               (Ssa.Call { fn; args = List.map (fun a -> Ssa.Arg a) args }))
+      | For_store { iterations; out; body; direction } ->
+          declared out;
+          let loop_label = fresh_label "loop" in
+          let after_label = fresh_label "after" in
+          let pred_label = !current.label in
+          !current.terminator <- Some (Ssa.Br loop_label);
+          let b = new_block loop_label in
+          (* phi placeholder, patched below once the update id is known *)
+          let phi =
+            emit b (Ssa.Phi { incoming = [ (pred_label, Ssa.Const_int 0) ] })
+          in
+          let value = emit_sexpr b ~iv:phi body in
+          let ptr =
+            emit b (Ssa.Getelementptr { base = Ssa.Arg out; index = phi })
+          in
+          ignore (emit b (Ssa.Store { src = value; ptr }));
+          let start, update_op, pred, bound =
+            match direction with
+            | Up -> (0, Ssa.Iadd, Ssa.Lt, iterations)
+            | Down -> (iterations, Ssa.Isub, Ssa.Gt, 0)
+          in
+          let next =
+            emit b
+              (Ssa.Int_binop { op = update_op; lhs = phi; rhs = Ssa.Const_int 1 })
+          in
+          patch_phi b phi
+            (Ssa.Phi
+               {
+                 incoming =
+                   [ (pred_label, Ssa.Const_int start); (loop_label, next) ];
+               });
+          let cond =
+            emit b (Ssa.Icmp { pred; lhs = next; rhs = Ssa.Const_int bound })
+          in
+          b.terminator <-
+            Some
+              (Ssa.Cond_br
+                 { cond; if_true = loop_label; if_false = after_label });
+          let after = new_block after_label in
+          current := after)
+    k.stmts;
+  !current.terminator <- Some (Ssa.Ret None);
+  let finished =
+    List.rev_map
+      (fun b ->
+        {
+          Ssa.label = b.label;
+          first_index = b.first_index;
+          instrs = Array.sub !(b.buf) 0 b.len;
+          terminator = Option.get b.terminator;
+        })
+      !blocks
+  in
+  let f = { Ssa.name = k.name; params = k.decls; blocks = finished } in
+  (match Ssa.verify f with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Dsl.lower: internal SSA error: " ^ msg));
+  f

@@ -1,0 +1,88 @@
+(** The high-level tensor DSL — the repository's stand-in for the Julia
+    frontend (paper §4.3; substitution documented in DESIGN.md).
+
+    A kernel is written as array declarations plus statements
+    ("[for i in 1:n; out[i] = f(reduce(vecop(W[i], X))); end]" and
+    library calls), and {!lower} emits the same SSA subgraphs the
+    paper's Julia → LLVM path produces, which {!Pattern.match_function}
+    then consumes. The DSL never shortcuts to AbstractTasks directly:
+    everything flows through SSA and the pattern matcher. *)
+
+(** {2 Array declarations} *)
+
+type decl
+
+val matrix : string -> rows:int -> cols:int -> decl
+val vector : string -> len:int -> decl
+val out_vector : string -> len:int -> decl
+
+(** {2 Vector expressions (inside the loop body)} *)
+
+type vexpr
+
+val row : string -> vexpr
+(** [row w] — the IV-th row of matrix [w] (Julia [getindex]). *)
+
+val xvec : string -> vexpr
+(** [xvec x] — a loop-invariant vector argument. *)
+
+val vadd : vexpr -> vexpr -> vexpr
+val vsub : vexpr -> vexpr -> vexpr
+val vmul : vexpr -> vexpr -> vexpr
+val vabs : vexpr -> vexpr
+val vsquare : vexpr -> vexpr
+val vcompare : vexpr -> vexpr
+
+(** {2 Scalar expressions} *)
+
+type sexpr
+
+val sum : vexpr -> sexpr
+(** The reduction library call. *)
+
+val sigmoid : sexpr -> sexpr
+val relu : sexpr -> sexpr
+
+val sthreshold : float -> sexpr -> sexpr
+(** [sthreshold c e] — 1 when [e > c], else 0 (the sign / threshold
+    decision function, Class-4 [threshold]). *)
+
+(** Convenience kernels. *)
+
+val dot : string -> string -> sexpr
+(** [dot w x] = [sum (vmul (row w) (xvec x))]. *)
+
+val l1_distance : string -> string -> sexpr
+(** [sum (vabs (vsub (row w) (xvec x)))]. *)
+
+val l2_distance : string -> string -> sexpr
+(** [sum (vsquare (vsub (row w) (xvec x)))]. *)
+
+(** {2 Statements} *)
+
+type stmt
+
+(** [for_store ~iterations ~out body] — the Figure-7 loop. *)
+val for_store : iterations:int -> out:string -> sexpr -> stmt
+
+(** [for_store_countdown] — same loop written with a decrementing
+    induction variable (exercises the canonicalization the paper
+    mentions: "the loop index variable being incremented instead of
+    decremented"). *)
+val for_store_countdown : iterations:int -> out:string -> sexpr -> stmt
+
+val argmin : string -> stmt
+val argmax : string -> stmt
+val mean : string -> stmt
+val mean_square : string -> stmt
+val mean_product : string -> string -> stmt
+
+(** {2 Kernels} *)
+
+type kernel = { name : string; decls : decl list; stmts : stmt list }
+
+val kernel : name:string -> decls:decl list -> stmt list -> kernel
+
+(** [lower k] — emit the SSA function. Raises [Invalid_argument] on
+    undeclared arrays or malformed kernels. *)
+val lower : kernel -> Ssa.func

@@ -1,0 +1,1 @@
+lib/isa/asm.pp.ml: List Op_param Opcode Printf Result String Task

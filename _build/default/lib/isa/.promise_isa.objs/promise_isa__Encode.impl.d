@@ -1,0 +1,1 @@
+lib/isa/encode.pp.ml: Bytes List Op_param Opcode Printf Result String Task

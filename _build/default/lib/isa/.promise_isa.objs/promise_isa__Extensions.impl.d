@@ -1,0 +1,1 @@
+lib/isa/extensions.pp.ml: Float List Opcode

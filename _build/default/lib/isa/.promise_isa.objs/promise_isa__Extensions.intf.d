@@ -1,0 +1,1 @@
+lib/isa/extensions.pp.mli:

@@ -1,0 +1,1 @@
+lib/isa/op_param.pp.ml: Opcode Ppx_deriving_runtime Printf Result

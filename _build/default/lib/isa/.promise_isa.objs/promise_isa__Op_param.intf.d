@@ -1,0 +1,1 @@
+lib/isa/op_param.pp.mli: Format Opcode

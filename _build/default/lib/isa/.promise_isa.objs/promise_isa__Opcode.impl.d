@@ -1,0 +1,1 @@
+lib/isa/opcode.pp.ml: Bool List Option Ppx_deriving_runtime String

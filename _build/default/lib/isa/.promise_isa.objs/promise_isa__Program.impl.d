@@ -1,0 +1,1 @@
+lib/isa/program.pp.ml: Asm Encode List Op_param Ppx_deriving_runtime Printf Result Task

@@ -1,0 +1,1 @@
+lib/isa/program.pp.mli: Format Task

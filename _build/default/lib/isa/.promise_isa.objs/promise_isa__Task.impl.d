@@ -1,0 +1,1 @@
+lib/isa/task.pp.ml: List Op_param Opcode Ppx_deriving_runtime Printf Result

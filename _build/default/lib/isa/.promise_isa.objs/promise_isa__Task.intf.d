@@ -1,0 +1,1 @@
+lib/isa/task.pp.mli: Format Op_param Opcode

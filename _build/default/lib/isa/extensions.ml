@@ -1,0 +1,55 @@
+type extension = Elementwise_writeback | Shuffle_compare
+
+let all = [ Elementwise_writeback; Shuffle_compare ]
+
+let name = function
+  | Elementwise_writeback -> "elementwise_writeback"
+  | Shuffle_compare -> "shuffle_compare"
+
+(* Delays/energies estimated from the cited silicon: the 17.5 fJ/bit
+   analog SRAM write path of [30] needs a full write slot plus settle
+   (longer than the 14-cycle multiply), and the shuffle network +
+   comparator bank of the random-forest engine [10] is comparable to
+   two compare passes. *)
+let delay = function
+  | Elementwise_writeback -> 18
+  | Shuffle_compare -> 16
+
+let energy_pj = function
+  | Elementwise_writeback -> 85.0
+  | Shuffle_compare -> 24.0
+
+let base_worst_case_tp () =
+  let c1 =
+    List.fold_left
+      (fun a c ->
+        max a
+          (match c with
+          | Opcode.C1_none -> 0
+          | Opcode.C1_write | Opcode.C1_read -> 2
+          | Opcode.C1_aread -> 5
+          | Opcode.C1_asubt | Opcode.C1_aadd -> 7))
+      0 Opcode.all_class1
+  in
+  let c2 =
+    List.fold_left
+      (fun a (c : Opcode.class2) ->
+        max a
+          (match c.Opcode.asd with
+          | Opcode.Asd_none -> 0
+          | Opcode.Asd_compare | Opcode.Asd_absolute -> 6
+          | Opcode.Asd_square -> 8
+          | Opcode.Asd_sign_mult | Opcode.Asd_unsign_mult -> 14))
+      0 Opcode.all_class2
+  in
+  max c1 c2
+
+let worst_case_tp_with extensions =
+  List.fold_left
+    (fun acc e -> max acc (delay e))
+    (base_worst_case_tp ()) extensions
+
+let tp_inflation extensions ~task_tp =
+  if task_tp < 1 then invalid_arg "Extensions.tp_inflation: task_tp < 1";
+  Float.max 1.0
+    (float_of_int (worst_case_tp_with extensions) /. float_of_int task_tp)

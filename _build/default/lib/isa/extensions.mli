@@ -1,0 +1,39 @@
+(** The operations the PROMISE ISA deliberately omits (paper §3.3):
+    element-wise write-back [30] and shuffle-and-compare [10, 31],
+    needed for efficient k-means and random-forest execution.
+
+    They were dropped "to keep T_P small": every pipeline stage shares
+    one clock, so adding a slow operation inflates T_P for every
+    program. This module quantifies that design decision — the
+    hypothetical delays/energies of the extension ops (from the cited
+    silicon: the analog SRAM write-back of [30] and the in-memory
+    random-forest engine of [10]) and what they would do to the
+    worst-case clock — without polluting the shipping opcode space. *)
+
+type extension =
+  | Elementwise_writeback
+      (** analog result written back into the bit-cell array without a
+          digitize/rewrite round trip [30] *)
+  | Shuffle_compare
+      (** permute-the-lanes + compare, the random-forest node step
+          [10, 31] *)
+
+val all : extension list
+val name : extension -> string
+
+(** [delay extension] — pipeline-stage delay in cycles the operation
+    would occupy (S2-class). *)
+val delay : extension -> int
+
+(** [energy_pj extension] — energy per 128-lane operation, per bank. *)
+val energy_pj : extension -> float
+
+(** [worst_case_tp_with extensions] — the TP a pipeline supporting the
+    base ISA {e plus} [extensions] must run at. *)
+val worst_case_tp_with : extension list -> int
+
+(** [tp_inflation extensions ~task] — how much slower [task] runs on a
+    pipeline built for the extended ISA:
+    [worst_case_tp_with extensions / task_tp-as-designed], the §3.3
+    cost argument. At least 1. *)
+val tp_inflation : extension list -> task_tp:int -> float

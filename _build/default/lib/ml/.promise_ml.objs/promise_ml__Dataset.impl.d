@@ -1,0 +1,1 @@
+lib/ml/dataset.ml: Array Float Linalg List Promise_analog

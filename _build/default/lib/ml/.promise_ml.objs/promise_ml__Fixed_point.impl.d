@@ -1,0 +1,1 @@
+lib/ml/fixed_point.ml: Array Float Linalg

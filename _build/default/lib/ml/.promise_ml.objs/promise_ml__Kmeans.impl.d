@@ -1,0 +1,1 @@
+lib/ml/kmeans.ml: Array Linalg List Promise_analog

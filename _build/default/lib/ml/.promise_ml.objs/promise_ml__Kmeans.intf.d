@@ -1,0 +1,1 @@
+lib/ml/kmeans.mli: Linalg Promise_analog

@@ -1,0 +1,1 @@
+lib/ml/matched_filter.mli: Dataset Linalg

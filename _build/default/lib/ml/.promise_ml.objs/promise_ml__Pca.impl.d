@@ -1,0 +1,1 @@
+lib/ml/pca.ml: Array Linalg Promise_analog

@@ -1,0 +1,1 @@
+lib/ml/pca.mli: Linalg Promise_analog

@@ -1,0 +1,1 @@
+lib/ml/random_forest.ml: Array Dataset Hashtbl List Option Promise_analog

@@ -1,0 +1,1 @@
+lib/ml/random_forest.mli: Dataset Linalg Promise_analog

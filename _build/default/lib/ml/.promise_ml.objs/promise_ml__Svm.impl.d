@@ -1,0 +1,1 @@
+lib/ml/svm.ml: Array Dataset Linalg Promise_analog

@@ -1,0 +1,1 @@
+lib/ml/svm.mli: Dataset Linalg Promise_analog

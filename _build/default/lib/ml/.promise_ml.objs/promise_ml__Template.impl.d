@@ -1,0 +1,1 @@
+lib/ml/template.ml: Array Linalg

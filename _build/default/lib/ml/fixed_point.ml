@@ -1,0 +1,32 @@
+let bits = 8
+let scale = 128.0
+
+let quantize v =
+  let code = int_of_float (Float.round (v *. scale)) in
+  max (-128) (min 127 code)
+
+let dequantize code = float_of_int code /. scale
+let quantize_vec = Array.map quantize
+let dequantize_vec = Array.map dequantize
+let quantize_mat = Array.map quantize_vec
+
+let normalize_by max_abs ?(headroom = 0.99) scale_fn data =
+  if max_abs <= 0.0 then (scale_fn 1.0 data, 1.0)
+  else
+    let k = max_abs /. headroom in
+    (scale_fn (1.0 /. k) data, k)
+
+let normalize_mat ?headroom m =
+  normalize_by (Linalg.mat_max_abs m) ?headroom
+    (fun k -> Array.map (Linalg.scale k))
+    m
+
+let normalize_vec ?headroom v =
+  normalize_by (Linalg.max_abs v) ?headroom Linalg.scale v
+
+let quantization_step ~bits = 2.0 ** float_of_int (-(bits - 1))
+
+let quantize_to_bits v ~bits =
+  let step = quantization_step ~bits in
+  let levels = Float.round (v /. step) in
+  Float.max (-1.0) (Float.min (1.0 -. step) (levels *. step))

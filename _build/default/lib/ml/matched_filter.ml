@@ -1,0 +1,33 @@
+type t = { weights : Linalg.vec; threshold : float }
+
+let make ~template ~threshold = { weights = Array.copy template; threshold }
+let correlate t x = Linalg.dot t.weights x
+let detect t x = if correlate t x > t.threshold then 1 else 0
+
+let calibrate_threshold ~template data =
+  let pos = ref 0.0 and npos = ref 0 and neg = ref 0.0 and nneg = ref 0 in
+  Array.iter
+    (fun s ->
+      let c = Linalg.dot template s.Dataset.features in
+      if s.Dataset.label = 1 then begin
+        pos := !pos +. c;
+        incr npos
+      end
+      else begin
+        neg := !neg +. c;
+        incr nneg
+      end)
+    data;
+  if !npos = 0 || !nneg = 0 then 0.0
+  else
+    let mp = !pos /. float_of_int !npos and mn = !neg /. float_of_int !nneg in
+    (mp +. mn) /. 2.0
+
+let accuracy t data =
+  let correct =
+    Array.fold_left
+      (fun acc s ->
+        if detect t s.Dataset.features = s.Dataset.label then acc + 1 else acc)
+      0 data
+  in
+  float_of_int correct /. float_of_int (Array.length data)

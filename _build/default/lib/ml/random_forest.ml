@@ -1,0 +1,146 @@
+module Rng = Promise_analog.Rng
+
+type tree =
+  | Leaf of int
+  | Node of { feature : int; threshold : float; low : tree; high : tree }
+
+type t = { trees : tree list }
+
+let majority labels idxs =
+  let votes = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      let l = labels.(i) in
+      Hashtbl.replace votes l (1 + Option.value (Hashtbl.find_opt votes l) ~default:0))
+    idxs;
+  Hashtbl.fold
+    (fun l c (bl, bc) -> if c > bc then (l, c) else (bl, bc))
+    votes (0, -1)
+  |> fst
+
+let gini labels idxs =
+  let n = List.length idxs in
+  if n = 0 then 0.0
+  else begin
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+        let l = labels.(i) in
+        Hashtbl.replace counts l
+          (1 + Option.value (Hashtbl.find_opt counts l) ~default:0))
+      idxs;
+    let fn = float_of_int n in
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. fn in
+        acc -. (p *. p))
+      counts 1.0
+  end
+
+let pure labels = function
+  | [] -> true
+  | i :: rest -> List.for_all (fun j -> labels.(j) = labels.(i)) rest
+
+let best_split rng features labels ~idxs ~feature_fraction =
+  let dim = Array.length features.(0) in
+  let n_try = max 1 (int_of_float (feature_fraction *. float_of_int dim)) in
+  let candidates = Array.init dim (fun i -> i) in
+  Rng.shuffle rng candidates;
+  let best = ref None in
+  for k = 0 to n_try - 1 do
+    let f = candidates.(k) in
+    (* candidate thresholds: midpoints of a few random pairs *)
+    List.iter
+      (fun threshold ->
+        let low, high =
+          List.partition (fun i -> features.(i).(f) <= threshold) idxs
+        in
+        if low <> [] && high <> [] then begin
+          let nl = float_of_int (List.length low) in
+          let nh = float_of_int (List.length high) in
+          let score =
+            ((nl *. gini labels low) +. (nh *. gini labels high)) /. (nl +. nh)
+          in
+          match !best with
+          | Some (s, _, _) when s <= score -> ()
+          | _ -> best := Some (score, f, threshold)
+        end)
+      (List.filteri (fun i _ -> i < 6)
+         (List.map (fun i -> features.(i).(f)) idxs))
+  done;
+  !best
+
+let rec grow rng features labels ~idxs ~depth ~max_depth ~feature_fraction =
+  if depth >= max_depth || pure labels idxs || List.length idxs < 4 then
+    Leaf (majority labels idxs)
+  else
+    match best_split rng features labels ~idxs ~feature_fraction with
+    | None -> Leaf (majority labels idxs)
+    | Some (_, feature, threshold) ->
+        let low_idx, high_idx =
+          List.partition (fun i -> features.(i).(feature) <= threshold) idxs
+        in
+        if low_idx = [] || high_idx = [] then Leaf (majority labels idxs)
+        else
+          Node
+            {
+              feature;
+              threshold;
+              low =
+                grow rng features labels ~idxs:low_idx ~depth:(depth + 1)
+                  ~max_depth ~feature_fraction;
+              high =
+                grow rng features labels ~idxs:high_idx ~depth:(depth + 1)
+                  ~max_depth ~feature_fraction;
+            }
+
+let train rng ~data ~n_trees ~max_depth ~feature_fraction =
+  if Array.length data = 0 then invalid_arg "Random_forest.train: empty data";
+  if n_trees < 1 then invalid_arg "Random_forest.train: n_trees < 1";
+  let n = Array.length data in
+  let features = Array.map (fun s -> s.Dataset.features) data in
+  let labels = Array.map (fun s -> s.Dataset.label) data in
+  let trees =
+    List.init n_trees (fun _ ->
+        (* bootstrap sample *)
+        let idxs = List.init n (fun _ -> Rng.int rng n) in
+        grow rng features labels ~idxs ~depth:0 ~max_depth ~feature_fraction)
+  in
+  { trees }
+
+let rec classify tree x =
+  match tree with
+  | Leaf l -> l
+  | Node { feature; threshold; low; high } ->
+      if x.(feature) <= threshold then classify low x else classify high x
+
+let predict t x =
+  let votes = Hashtbl.create 8 in
+  List.iter
+    (fun tree ->
+      let l = classify tree x in
+      Hashtbl.replace votes l
+        (1 + Option.value (Hashtbl.find_opt votes l) ~default:0))
+    t.trees;
+  Hashtbl.fold
+    (fun l c (bl, bc) -> if c > bc then (l, c) else (bl, bc))
+    votes (0, -1)
+  |> fst
+
+let accuracy t data =
+  let correct =
+    Array.fold_left
+      (fun acc s ->
+        if predict t s.Dataset.features = s.Dataset.label then acc + 1 else acc)
+      0 data
+  in
+  float_of_int correct /. float_of_int (Array.length data)
+
+let n_trees t = List.length t.trees
+
+let node_count t =
+  let rec count = function
+    | Leaf _ -> 0
+    | Node { low; high; _ } -> 1 + count low + count high
+  in
+  List.fold_left (fun acc tree -> acc + count tree) 0 t.trees

@@ -1,0 +1,32 @@
+(** A small random forest (bagged, depth-limited CART trees with
+    axis-aligned threshold splits).
+
+    The second algorithm the paper's ISA discussion (§3.3) calls out:
+    tree traversal needs the shuffle-and-compare operation [10, 31]
+    the PROMISE ISA omits, so forests fall back to the host. This
+    reference implementation anchors the extension-ablation analysis
+    and rounds out the ML substrate. *)
+
+type t
+
+(** [train rng ~data ~n_trees ~max_depth ~feature_fraction] — bootstrap
+    sample per tree; at each node, the best (feature, threshold) split
+    by Gini impurity over a random feature subset. *)
+val train :
+  Promise_analog.Rng.t ->
+  data:Dataset.labeled array ->
+  n_trees:int ->
+  max_depth:int ->
+  feature_fraction:float ->
+  t
+
+(** [predict t x] — majority vote over the trees. *)
+val predict : t -> Linalg.vec -> int
+
+val accuracy : t -> Dataset.labeled array -> float
+
+val n_trees : t -> int
+
+(** [node_count t] — total decision nodes (the shuffle/compare ops a
+    hardware traversal would need per inference, worst case). *)
+val node_count : t -> int

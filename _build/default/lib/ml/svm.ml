@@ -1,0 +1,46 @@
+module Rng = Promise_analog.Rng
+
+type t = { weights : Linalg.vec; bias : float }
+
+let train rng ~data ~epochs ~lambda =
+  if Array.length data = 0 then invalid_arg "Svm.train: empty data";
+  let dim = Array.length data.(0).Dataset.features in
+  let w = Array.make dim 0.0 in
+  let b = ref 0.0 in
+  let t = ref 0 in
+  let order = Array.init (Array.length data) (fun i -> i) in
+  for _epoch = 1 to epochs do
+    Rng.shuffle rng order;
+    Array.iter
+      (fun idx ->
+        incr t;
+        let sample = data.(idx) in
+        let y = if sample.Dataset.label = 1 then 1.0 else -1.0 in
+        let eta = 1.0 /. (lambda *. float_of_int !t) in
+        let margin = y *. (Linalg.dot w sample.Dataset.features +. !b) in
+        (* w <- (1 - eta*lambda) w [+ eta*y*x when margin < 1] *)
+        let shrink = 1.0 -. (eta *. lambda) in
+        Array.iteri (fun i wi -> w.(i) <- shrink *. wi) w;
+        if margin < 1.0 then begin
+          Array.iteri
+            (fun i xi -> w.(i) <- w.(i) +. (eta *. y *. xi))
+            sample.Dataset.features;
+          b := !b +. (eta *. y)
+        end)
+      order
+  done;
+  { weights = w; bias = !b }
+
+let decision t x = Linalg.dot t.weights x +. t.bias
+let predict t x = if decision t x > 0.0 then 1 else 0
+
+let accuracy t data =
+  let correct =
+    Array.fold_left
+      (fun acc s ->
+        if predict t s.Dataset.features = s.Dataset.label then acc + 1 else acc)
+      0 data
+  in
+  float_of_int correct /. float_of_int (Array.length data)
+
+let augmented_weights t = Array.append t.weights [| t.bias |]

@@ -1,0 +1,1 @@
+test/test_analog.ml: Adc Alcotest Array Float Leakage List Lut Noise Promise Pwm QCheck QCheck_alcotest Rng Swing

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Array Cm Conv List Model Op_param Opcode Program Promise QCheck QCheck_alcotest Scaling Soa Tables Task

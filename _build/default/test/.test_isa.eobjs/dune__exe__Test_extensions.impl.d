@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Extensions List Op_param Opcode Promise QCheck QCheck_alcotest String Task

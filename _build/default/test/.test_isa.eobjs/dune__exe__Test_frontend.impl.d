@@ -1,0 +1,1 @@
+test/test_frontend.ml: Abstract_task Alcotest Dsl Format Graph List Pattern Promise Sexp_frontend

@@ -1,0 +1,1 @@
+test/test_ir.ml: Abstract_task Alcotest Dsl Graph List Pattern Printf Promise QCheck QCheck_alcotest Ssa

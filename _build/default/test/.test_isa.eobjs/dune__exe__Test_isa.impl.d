@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Bytes Encode List Op_param Opcode Program Promise QCheck QCheck_alcotest String Task

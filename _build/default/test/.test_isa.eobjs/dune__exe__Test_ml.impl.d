@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Dataset Fixed_point Float Knn Linalg Linreg List Matched_filter Metrics Mlp Pca Promise QCheck QCheck_alcotest Svm Template

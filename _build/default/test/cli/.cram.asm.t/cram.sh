@@ -1,0 +1,11 @@
+  $ cat > tm.pasm <<'PASM'
+  > ; template matching, 127 candidates on 4 banks
+  > task c1=aSUBT c2=absolute.avd c3=ADC c4=min rpt=126 mb=2
+  > PASM
+  $ promise_asm assemble tm.pasm
+  $ promise_asm assemble tm.pasm | promise_asm disassemble
+  $ promise_asm validate tm.pasm
+  $ cat > bad.pasm <<'PASM'
+  > task c1=read c2=square c3=ADC c4=min
+  > PASM
+  $ promise_asm validate bad.pasm

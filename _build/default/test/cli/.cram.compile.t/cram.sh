@@ -1,0 +1,8 @@
+  $ promise_compile kernels/template_matching.sexp
+  $ promise_compile kernels/mlp.sexp --swing 3
+  $ promise_compile kernels/linreg.sexp --ir | head -2
+  $ promise_compile kernels/svm.sexp --binary svm.bin
+  $ cat > broken.sexp <<'SEXP'
+  > (kernel broken (matrix W 2 2) (for 1 o (fft W)))
+  > SEXP
+  $ promise_compile broken.sexp

@@ -1,0 +1,21 @@
+The assembler round trip: the §3.4 template-matching Task.
+
+  $ cat > tm.pasm <<'PASM'
+  > ; template matching, 127 candidates on 4 banks
+  > task c1=aSUBT c2=absolute.avd c3=ADC c4=min rpt=126 mb=2
+  > PASM
+  $ promise_asm assemble tm.pasm
+  e000010fd45c
+  $ promise_asm assemble tm.pasm | promise_asm disassemble
+  task c1=aSUBT c2=absolute.avd c3=ADC c4=min rpt=126 mb=2 swing=7 acc=0 w=0 x1=0 x2=0 xprd=0 des=out thres=0
+  $ promise_asm validate tm.pasm
+  1 task(s) valid; program uses up to 4 bank(s)
+
+Illegal compositions are rejected with the offending line.
+
+  $ cat > bad.pasm <<'PASM'
+  > task c1=read c2=square c3=ADC c4=min
+  > PASM
+  $ promise_asm validate bad.pasm
+  promise-asm: line 1: Class-2 aSD operation requires an analog Class-1 producer
+  [1]

@@ -1,0 +1,27 @@
+The textual frontend compiles the example kernels to the ISA.
+
+  $ promise_compile kernels/template_matching.sexp
+  task c1=aSUBT c2=absolute.avd c3=ADC c4=min rpt=63 mb=1 swing=7 acc=0 w=0 x1=0 x2=0 xprd=0 des=out thres=8
+
+  $ promise_compile kernels/mlp.sexp --swing 3
+  task c1=aREAD c2=sign_mult.avd c3=ADC c4=sigmoid rpt=127 mb=3 swing=3 acc=0 w=0 x1=0 x2=0 xprd=0 des=xreg thres=8
+  task c1=aREAD c2=sign_mult.avd c3=ADC c4=max rpt=9 mb=0 swing=3 acc=0 w=0 x1=0 x2=0 xprd=0 des=out thres=8
+
+  $ promise_compile kernels/linreg.sexp --ir | head -2
+  IR graph: 4 tasks
+    [0] linreg:mean(U): Vo_none / Ro_sum / Do_mean (N=4096, iters=2, swing=7)
+
+Binary output is 6 bytes per Task.
+
+  $ promise_compile kernels/svm.sexp --binary svm.bin
+  wrote 1 task(s), 6 bytes to svm.bin
+
+Parse errors are reported.
+
+  $ cat > broken.sexp <<'SEXP'
+  > (kernel broken (matrix W 2 2) (for 1 o (fft W)))
+  > SEXP
+  $ promise_compile broken.sexp
+  promise-compile: unknown scalar expression (fft
+  W)
+  [1]
