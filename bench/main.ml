@@ -36,7 +36,7 @@ let tm_kernel =
     ]
 
 let tm_graph =
-  match P.compile tm_kernel with Ok g -> g | Error e -> failwith e
+  match P.compile tm_kernel with Ok g -> g | Error e -> failwith (P.Error.to_string e)
 
 let bench_machine = P.Arch.Machine.create P.Arch.Machine.default_config
 
@@ -70,7 +70,7 @@ let run_tm_once machine =
   P.Compiler.Runtime.bind_vector b "x" x;
   match P.Compiler.Runtime.run ~machine tm_graph b with
   | Ok r -> r
-  | Error e -> failwith e
+  | Error e -> failwith (P.Error.to_string e)
 
 let tm_silicon_machine =
   P.Arch.Machine.create

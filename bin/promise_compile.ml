@@ -14,6 +14,8 @@ let die msg =
   prerr_endline ("promise-compile: " ^ msg);
   exit 1
 
+let die_err e = die (P.Error.to_string e)
+
 let run path binary show_ir swing =
   let kernel =
     match P.Ir.Sexp_frontend.parse_file path with
@@ -21,7 +23,7 @@ let run path binary show_ir swing =
     | Error msg -> die msg
   in
   let graph =
-    match P.compile kernel with Ok g -> g | Error msg -> die msg
+    match P.compile kernel with Ok g -> g | Error e -> die_err e
   in
   let graph =
     match swing with
@@ -34,7 +36,7 @@ let run path binary show_ir swing =
   let program =
     match P.Compiler.Pipeline.codegen graph with
     | Ok p -> p
-    | Error msg -> die msg
+    | Error e -> die_err e
   in
   (match binary with
   | Some out ->

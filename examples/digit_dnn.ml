@@ -40,7 +40,7 @@ let () =
         Dsl.argmax "y";
       ]
   in
-  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith e in
+  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith (P.Error.to_string e) in
 
   (* 3. energy optimization: tolerance -> bits -> per-layer swings *)
   let stats = P.Compiler.Precision.of_mlp model (Array.sub test 0 40) in
@@ -48,7 +48,7 @@ let () =
   let optimized, bits =
     match P.Compiler.Pipeline.optimize graph ~stats ~pm:0.01 with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (P.Error.to_string e)
   in
   Printf.printf "precision target: %d bits\n" bits;
 
@@ -67,7 +67,7 @@ let () =
         Rt.bind_matrix b "W1" model.Mlp.layers.(1).Mlp.weights;
         Rt.bind_vector b "x" s.P.Ml.Dataset.features;
         match Rt.run ~machine graph b with
-        | Error e -> failwith e
+        | Error e -> failwith (P.Error.to_string e)
         | Ok r -> (
             match Rt.final_output r with
             | Ok { Rt.decision = Some (cls, _); _ } ->
@@ -85,7 +85,7 @@ let () =
     let energy =
       match P.Compiler.Pipeline.codegen graph with
       | Ok p -> P.Energy.Model.total (P.Energy.Model.program_energy_steady p)
-      | Error e -> failwith e
+      | Error e -> failwith (P.Error.to_string e)
     in
     Printf.printf "%s: swings (%s), accuracy %.3f, %.1f nJ/decision\n" name
       (String.concat "," (List.map string_of_int swings))

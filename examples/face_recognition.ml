@@ -39,7 +39,7 @@ let () =
         Dsl.argmin "distances";
       ]
   in
-  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith e in
+  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith (P.Error.to_string e) in
   Format.printf "%a@." P.Ir.Graph.pp graph;
 
   let machine =
@@ -55,7 +55,7 @@ let () =
     Rt.bind_matrix bindings "faces" faces;
     Rt.bind_vector bindings "query" query;
     match Rt.run ~machine graph bindings with
-    | Error e -> failwith e
+    | Error e -> failwith (P.Error.to_string e)
     | Ok r -> (
         match Rt.final_output r with
         | Ok { Rt.decision = Some (found, distance); _ } ->
@@ -65,7 +65,7 @@ let () =
               q identity found distance
               (if ok then "ok" else "MISS")
         | Ok _ -> failwith "no decision"
-        | Error e -> failwith e)
+        | Error e -> failwith (P.Error.to_string e))
   done;
   Printf.printf "recognition accuracy: %d/%d\n" !correct n_queries;
 

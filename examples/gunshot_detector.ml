@@ -39,7 +39,7 @@ let () =
           (Dsl.sthreshold threshold (Dsl.dot "filter" "window"));
       ]
   in
-  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith e in
+  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith (P.Error.to_string e) in
 
   let machine =
     P.Arch.Machine.create
@@ -54,7 +54,7 @@ let () =
       Rt.bind_matrix bindings "filter" [| template |];
       Rt.bind_vector bindings "window" w.P.Ml.Dataset.features;
       match Rt.run ~machine graph bindings with
-      | Error e -> failwith e
+      | Error e -> failwith (P.Error.to_string e)
       | Ok r -> (
           match Rt.final_output r with
           | Ok o ->
@@ -64,7 +64,7 @@ let () =
               | false, false -> incr tn
               | true, false -> incr fp
               | false, true -> incr fn)
-          | Error e -> failwith e))
+          | Error e -> failwith (P.Error.to_string e)))
     windows;
   Printf.printf "detections: %d true-positive, %d true-negative, %d false-positive, %d missed\n"
     !tp !tn !fp !fn;
@@ -79,5 +79,5 @@ let () =
       | Ok program ->
           Printf.printf "swing %d: %.0f pJ per window\n" swing
             (P.Energy.Model.total (P.Energy.Model.program_energy_steady program))
-      | Error e -> failwith e)
+      | Error e -> failwith (P.Error.to_string e))
     [ 7; 0 ]

@@ -49,7 +49,7 @@ let () =
         Dsl.argmin "distances";
       ]
   in
-  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith e in
+  let graph = match P.compile kernel with Ok g -> g | Error e -> failwith (P.Error.to_string e) in
   let machine =
     P.Arch.Machine.create
       { P.Arch.Machine.banks = 1; profile = P.Arch.Bank.Silicon;
@@ -60,7 +60,7 @@ let () =
     Rt.bind_matrix b "centroids" centroids;
     Rt.bind_vector b "sample" sample;
     match Rt.run ~machine graph b with
-    | Error e -> failwith e
+    | Error e -> failwith (P.Error.to_string e)
     | Ok r -> (
         match Rt.final_output r with
         | Ok { Rt.decision = Some (c, _); _ } -> c

@@ -28,7 +28,7 @@ let () =
   let report =
     match P.compile_to_binary kernel with
     | Ok r -> r
-    | Error msg -> failwith msg
+    | Error e -> failwith (P.Error.to_string e)
   in
   print_endline "compiled Task:";
   print_string ("  " ^ report.P.Compiler.Pipeline.assembly);
@@ -50,12 +50,12 @@ let () =
   let result =
     match P.run ~machine kernel bindings with
     | Ok r -> r
-    | Error msg -> failwith msg
+    | Error e -> failwith (P.Error.to_string e)
   in
   let out =
     match Rt.final_output result with
     | Ok o -> o.Rt.values
-    | Error msg -> failwith msg
+    | Error e -> failwith (P.Error.to_string e)
   in
 
   (* 5. compare with the float reference *)

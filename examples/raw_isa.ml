@@ -30,7 +30,7 @@ let () =
 
   (* 2. hand-load eight candidate vectors and the query *)
   let machine = Machine.create (Machine.ideal_config ~banks:1) in
-  let plan = Layout.plan_exn ~vector_len:32 ~rows:8 in
+  let plan = Layout.plan_exn ~vector_len:32 ~rows:8 () in
   let rng = P.Analog.Rng.create 3030 in
   let candidates =
     Array.init 8 (fun _ ->
@@ -43,13 +43,14 @@ let () =
 
   (* 3. execute the raw program *)
   (match Machine.run_program machine program with
-  | [ result ] -> (
+  | Ok [ result ] -> (
       match result.Machine.argext with
       | Some (i, d) ->
           Printf.printf "nearest candidate: %d (true %d), distance %.3f\n" i
             target d
       | None -> failwith "no decision")
-  | _ -> failwith "one result expected");
+  | Ok _ -> failwith "one result expected"
+  | Error e -> failwith (P.Error.to_string e));
 
   (* 4. the cycle/energy story of what just ran *)
   let trace = Machine.trace machine in

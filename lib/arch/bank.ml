@@ -11,6 +11,7 @@ type t = {
   mutable write_data : int array option;
   mutable staged_writes : int list;  (* reversed *)
   mutable faults : Faults.t;
+  mutable fault_rng : A.Rng.t option;  (* X-REG transient upsets *)
 }
 
 let create ?(profile = Silicon) ~noise () =
@@ -22,6 +23,7 @@ let create ?(profile = Silicon) ~noise () =
     write_data = None;
     staged_writes = [];
     faults = Faults.none;
+    fault_rng = None;
   }
 
 let stage_write_code t code =
@@ -31,8 +33,35 @@ let stage_write_code t code =
 
 let staged_write_count t = List.length t.staged_writes
 
-let set_faults t f = t.faults <- f
+let set_faults t f =
+  t.faults <- f;
+  t.fault_rng <-
+    (match Faults.xreg_flip f with
+    | None -> None
+    | Some { Faults.seed; _ } -> Some (A.Rng.create seed))
+
 let faults t = t.faults
+
+(* X-REG read with the transient single-bit-upset model: each element
+   read flips one random bit of its 8-bit two's-complement code with
+   probability [rate]. *)
+let xreg_normalized t ~index =
+  match (Faults.xreg_flip t.faults, t.fault_rng) with
+  | None, _ | _, None -> Xreg.get_normalized t.xreg ~index
+  | Some { Faults.rate; _ }, Some rng ->
+      let codes = Xreg.get t.xreg ~index in
+      Array.map
+        (fun c ->
+          let c =
+            if A.Rng.float rng < rate then begin
+              let u = (c + 256) land 0xff in
+              let u = u lxor (1 lsl A.Rng.int rng 8) in
+              if u > 127 then u - 256 else u
+            end
+            else c
+          in
+          float_of_int c /. 128.0)
+        codes
 
 let array t = t.array
 let xreg t = t.xreg
@@ -77,11 +106,12 @@ let apply_idle_leakage t ~task v =
         float_of_int (max 0 (tp - Timing.class1_delay task.Task.class1))
         *. Params.cycle_ns
       in
+      let idle = Faults.effective_idle_ns t.faults ~idle_ns:idle in
       Array.map (A.Leakage.bitline ~idle_ns:idle) v
 
 let run_class1 t ~(task : Task.t) ~iteration =
   let p = task.op_param in
-  let swing = p.Op_param.swing in
+  let swing = Faults.effective_swing t.faults ~swing:p.Op_param.swing in
   let lut = lut_for_profile t.profile (fun () -> A.Lut.Silicon.aread) in
   let word_row = w_row_of ~task ~iteration in
   match task.class1 with
@@ -98,7 +128,10 @@ let run_class1 t ~(task : Task.t) ~iteration =
           Bitcell_array.write t.array ~word_row
             (Array.sub codes 0 (min (Array.length codes) Params.lanes)));
       Idle
-  | Opcode.C1_read -> Digital_vector (Bitcell_array.read t.array ~word_row)
+  | Opcode.C1_read ->
+      if Faults.is_dead_bank t.faults then
+        Digital_vector (Array.make Params.lanes 0)
+      else Digital_vector (Bitcell_array.read t.array ~word_row)
   | Opcode.C1_aread ->
       Analog_vector
         (apply_idle_leakage t ~task
@@ -111,7 +144,7 @@ let run_class1 t ~(task : Task.t) ~iteration =
           (Bitcell_array.aread t.array ~word_row ~swing ~noise:t.noise ~lut)
       in
       let x_index = Op_param.x_addr_at p ~base:p.Op_param.x_addr1 ~iteration in
-      let x = Xreg.get_normalized t.xreg ~index:x_index in
+      let x = xreg_normalized t ~index:x_index in
       let combine =
         match task.class1 with
         | Opcode.C1_asubt -> fun a b -> (a -. b) /. 2.0
@@ -142,7 +175,7 @@ let run_asd t ~(task : Task.t) ~iteration values =
   | Opcode.Asd_sign_mult | Opcode.Asd_unsign_mult ->
       let l = lut (fun () -> A.Lut.Silicon.mult) in
       let x_index = Op_param.x_addr_at p ~base:p.Op_param.x_addr2 ~iteration in
-      let x = Xreg.get_normalized t.xreg ~index:x_index in
+      let x = xreg_normalized t ~index:x_index in
       let mul =
         match task.class2.asd with
         | Opcode.Asd_sign_mult -> fun a b -> shaped l (a *. b)
@@ -152,14 +185,27 @@ let run_asd t ~(task : Task.t) ~iteration values =
       in
       Array.map2 mul values x
 
-let charge_share ~active_lanes values =
-  let sum = ref 0.0 in
-  for i = 0 to active_lanes - 1 do
-    sum := !sum +. values.(i)
-  done;
-  !sum /. float_of_int active_lanes
+let charge_share ?lane_mask ~active_lanes values =
+  match lane_mask with
+  | None ->
+      let sum = ref 0.0 in
+      for i = 0 to active_lanes - 1 do
+        sum := !sum +. values.(i)
+      done;
+      !sum /. float_of_int active_lanes
+  | Some mask ->
+      (* spared layouts populate a scattered subset of physical lanes *)
+      let sum = ref 0.0 and n = ref 0 in
+      Array.iteri
+        (fun i on ->
+          if on && i < Array.length values then begin
+            sum := !sum +. values.(i);
+            incr n
+          end)
+        mask;
+      if !n = 0 then 0.0 else !sum /. float_of_int !n
 
-let run_iteration t ~task ~iteration ~active_lanes ~adc_gain =
+let run_iteration ?lane_mask t ~task ~iteration ~active_lanes ~adc_gain =
   if active_lanes < 1 || active_lanes > Params.lanes then
     invalid_arg "Bank.run_iteration: active_lanes out of [1, 128]";
   if adc_gain <= 0.0 then invalid_arg "Bank.run_iteration: adc_gain <= 0";
@@ -173,13 +219,13 @@ let run_iteration t ~task ~iteration ~active_lanes ~adc_gain =
       match (task.Task.class2.avd, digitizes) with
       | true, true ->
           let analog =
-            (adc_gain *. charge_share ~active_lanes values)
+            (adc_gain *. charge_share ?lane_mask ~active_lanes values)
             +. Faults.adc_offset t.faults
           in
           Sample (A.Adc.convert analog /. adc_gain)
       | true, false ->
           (* validation rejects this, but stay total *)
-          Analog_vector [| charge_share ~active_lanes values |]
+          Analog_vector [| charge_share ?lane_mask ~active_lanes values |]
       | false, true ->
           Digital_vector
             (Array.map (fun v -> A.Adc.quantize v) values)

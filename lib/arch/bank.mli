@@ -28,8 +28,12 @@ val array : t -> Bitcell_array.t
 val xreg : t -> Xreg.t
 val profile : t -> profile
 
-(** [set_faults t f] — inject hard faults ({!Faults}): stuck lanes
-    corrupt every analog read; the ADC offset shifts every conversion. *)
+(** [set_faults t f] — inject hard faults ({!Faults}): stuck/dead lanes
+    corrupt every analog read, a dead bank zeroes both read paths, the
+    ADC offset shifts every conversion, swing drift degrades the
+    effective SWING code, the leakage multiplier scales idle-slot
+    droop, and the X-REG transient model (seeded from the descriptor)
+    flips bits on X reads. *)
 val set_faults : t -> Faults.t -> unit
 
 val faults : t -> Faults.t
@@ -58,8 +62,8 @@ type step =
 (** [analog_scale task] — true value = [analog_scale] × analog value. *)
 val analog_scale : Promise_isa.Task.t -> float
 
-(** [run_iteration t ~task ~iteration ~active_lanes ~adc_gain] — execute
-    iteration [iteration] (0-based) of [task]:
+(** [run_iteration ?lane_mask t ~task ~iteration ~active_lanes ~adc_gain]
+    — execute iteration [iteration] (0-based) of [task]:
     - W word-row address is [w_addr + iteration] (sequential increment,
       §3.3), wrapped modulo the array size;
     - X addresses circulate modulo [X_PRD + 1];
@@ -68,9 +72,13 @@ val analog_scale : Promise_isa.Task.t -> float
     - [adc_gain] is the power-of-two analog range-matching gain ahead of
       the ADC (the sub-ranged read's range matching, see DESIGN.md): the
       aggregate is amplified by it before quantization and divided back
-      after, so quantization noise shrinks by the same factor.
+      after, so quantization noise shrinks by the same factor;
+    - [lane_mask] (lane sparing, see {!Layout.spare_map}) restricts the
+      charge-share average to the masked physical lanes instead of the
+      [active_lanes]-long prefix.
     Raises [Invalid_argument] if [active_lanes] is not in [1, 128]. *)
 val run_iteration :
+  ?lane_mask:bool array ->
   t ->
   task:Promise_isa.Task.t ->
   iteration:int ->

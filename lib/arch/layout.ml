@@ -12,26 +12,30 @@ type plan = {
 
 let ceil_div a b = (a + b - 1) / b
 
-let plan ~vector_len ~rows =
+let plan ?(max_lanes = Params.lanes) ~vector_len ~rows () =
   if vector_len < 1 then Error "vector_len must be >= 1"
   else if rows < 1 then Error "rows must be >= 1"
+  else if max_lanes < 1 || max_lanes > Params.lanes then
+    Error
+      (Printf.sprintf "max_lanes must be in 1..%d (got %d)" Params.lanes
+         max_lanes)
   else
     let max_banks_per_task = 8 and max_segments = 4 in
-    if vector_len > max_banks_per_task * max_segments * Params.lanes then
+    if vector_len > max_banks_per_task * max_segments * max_lanes then
       Error
         (Printf.sprintf
-           "vector of %d elements exceeds 8 banks x 4 segments x 128 lanes"
-           vector_len)
+           "vector of %d elements exceeds 8 banks x 4 segments x %d lanes"
+           vector_len max_lanes)
     else
       (* Prefer parallelism (more banks) over serialization (segments). *)
       let rec pick_banks multi_bank =
         let banks = 1 lsl multi_bank in
-        if vector_len <= banks * Params.lanes || multi_bank = 3 then
+        if vector_len <= banks * max_lanes || multi_bank = 3 then
           (banks, multi_bank)
         else pick_banks (multi_bank + 1)
       in
       let banks, multi_bank = pick_banks 0 in
-      let segments = ceil_div vector_len (banks * Params.lanes) in
+      let segments = ceil_div vector_len (banks * max_lanes) in
       let lanes_per_bank = ceil_div vector_len (banks * segments) in
       let max_rows_per_task =
         min (Params.word_rows / segments) (128 / segments)
@@ -51,10 +55,30 @@ let plan ~vector_len ~rows =
           tasks;
         }
 
-let plan_exn ~vector_len ~rows =
-  match plan ~vector_len ~rows with
+let plan_exn ?max_lanes ~vector_len ~rows () =
+  match plan ?max_lanes ~vector_len ~rows () with
   | Ok p -> p
   | Error msg -> invalid_arg ("Layout.plan: " ^ msg)
+
+let spare_map ~faulty =
+  let bad = Array.make Params.lanes false in
+  List.iter
+    (fun l -> if l >= 0 && l < Params.lanes then bad.(l) <- true)
+    faulty;
+  let healthy = ref [] in
+  for l = Params.lanes - 1 downto 0 do
+    if not bad.(l) then healthy := l :: !healthy
+  done;
+  Array.of_list !healthy
+
+let lane_mask_of_map map ~used =
+  if used < 0 || used > Array.length map then
+    invalid_arg "Layout.lane_mask_of_map: used exceeds map length";
+  let mask = Array.make Params.lanes false in
+  for i = 0 to used - 1 do
+    mask.(map.(i)) <- true
+  done;
+  mask
 
 let x_prd p = p.segments - 1
 let total_banks p = p.banks * p.tasks

@@ -21,12 +21,16 @@ type plan = {
   tasks : int;  (** row chunks = ceil (rows / rows_per_task) *)
 }
 
-(** [plan ~vector_len ~rows] — a placement, or [Error] when the vector
-    cannot fit (needs more than 8 banks × 4 segments). *)
-val plan : vector_len:int -> rows:int -> (plan, string) result
+(** [plan ~vector_len ~rows ()] — a placement, or [Error] when the
+    vector cannot fit (needs more than 8 banks × 4 segments).
+    [max_lanes] (default 128) caps the lanes used per bank — lane
+    sparing plans around faulty lanes by reserving [128 - max_lanes]
+    spare columns (see {!spare_map}). *)
+val plan :
+  ?max_lanes:int -> vector_len:int -> rows:int -> unit -> (plan, string) result
 
-(** [plan_exn ~vector_len ~rows]. *)
-val plan_exn : vector_len:int -> rows:int -> plan
+(** [plan_exn ?max_lanes ~vector_len ~rows ()]. *)
+val plan_exn : ?max_lanes:int -> vector_len:int -> rows:int -> unit -> plan
 
 (** [x_prd p] — [segments - 1]. *)
 val x_prd : plan -> int
@@ -42,3 +46,17 @@ val chunk_rows : plan -> int -> int
 (** [slice_of_vector p v ~bank ~segment] — the [lanes_per_bank] codes of
     [v] that bank [bank], segment [segment] holds (zero-padded). *)
 val slice_of_vector : plan -> int array -> bank:int -> segment:int -> int array
+
+(** {2 Lane sparing} *)
+
+(** [spare_map ~faulty] — the healthy physical lanes, ascending: logical
+    lane [l] of a spared layout maps to physical lane [(spare_map
+    ~faulty).(l)]. Combine with [plan ~max_lanes:(Array.length map)]
+    so every slice fits in the healthy columns. *)
+val spare_map : faulty:int list -> int array
+
+(** [lane_mask_of_map map ~used] — a 128-wide boolean mask that is true
+    exactly at the physical lanes [map.(0 .. used-1)]; feed it to
+    {!Machine.execute} so charge sharing averages only populated
+    lanes. *)
+val lane_mask_of_map : int array -> used:int -> bool array

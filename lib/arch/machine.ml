@@ -1,5 +1,6 @@
 open Promise_isa
 module A = Promise_analog
+module E = Promise_core.Error
 
 type config = {
   banks : int;
@@ -60,12 +61,16 @@ type result = {
 let group_banks t launch =
   let n = Task.banks launch.task in
   let first = launch.bank_group * n in
-  if first + n > n_banks t then
-    invalid_arg
-      (Printf.sprintf
-         "Machine.execute: bank group %d of %d banks exceeds machine of %d"
-         launch.bank_group n (n_banks t));
-  Array.init n (fun i -> t.banks.(first + i))
+  if launch.bank_group < 0 || first + n > n_banks t then
+    E.fail ~layer:"machine" ~code:E.Capacity
+      ~context:
+        [
+          ("group", string_of_int launch.bank_group);
+          ("group_banks", string_of_int n);
+          ("machine_banks", string_of_int (n_banks t));
+        ]
+      "bank group exceeds machine"
+  else Ok (Array.init n (fun i -> t.banks.(first + i)))
 
 let quantize_code v =
   let code = int_of_float (Float.round (v *. 128.0)) in
@@ -87,12 +92,39 @@ let route_emit banks launch (emit : Th_unit.emit) ~emitted ~acc_out ~xreg_out
       Array.iter (fun b -> Bank.stage_write_code b code) banks;
       wbuf := code :: !wbuf
 
-let execute t launch =
+(* Excess pipeline stalls when some of the group's ADC units are dead:
+   the discrete-event scheduler run with the reduced unit count, minus
+   its healthy-baseline stalls. Zero-cost on a healthy group. *)
+let excess_adc_stalls task ~avail =
+  if avail >= A.Adc.units_per_bank then 0
+  else
+    let stalls units =
+      (Scheduler.run ~ideal_adc:false ~adc_units:units task)
+        .Scheduler.adc_stalls
+    in
+    max 0 (stalls avail - stalls A.Adc.units_per_bank)
+
+let execute ?lane_mask t launch =
+  let ( let* ) = Result.bind in
   let task = launch.task in
-  (match Task.validate task with
-  | Ok _ -> ()
-  | Error msg -> invalid_arg ("Machine.execute: " ^ msg));
-  let banks = group_banks t launch in
+  let* () =
+    match Task.validate task with
+    | Ok _ -> Ok ()
+    | Error msg -> E.fail ~layer:"machine" ~code:E.Invalid_operand msg
+  in
+  let* banks = group_banks t launch in
+  let* avail_adc =
+    let avail =
+      Array.fold_left
+        (fun acc b -> min acc (Faults.adc_units_available (Bank.faults b)))
+        A.Adc.units_per_bank banks
+    in
+    if Task.uses_adc task && avail < 1 then
+      E.fail ~layer:"machine" ~code:E.Fault
+        ~context:[ ("group", string_of_int launch.bank_group) ]
+        "all ADC units of the bank group are dead"
+    else Ok avail
+  in
   let n_banks_used = Array.length banks in
   let th = Th_unit.create launch.th in
   let emitted = ref [] and acc_out = ref [] and wbuf = ref [] in
@@ -106,7 +138,7 @@ let execute t launch =
     Array.iteri
       (fun bi b ->
         match
-          Bank.run_iteration b ~task ~iteration
+          Bank.run_iteration ?lane_mask b ~task ~iteration
             ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
         with
         | Bank.Sample s ->
@@ -129,6 +161,9 @@ let execute t launch =
   (match Th_unit.finish th with
   | Some emit -> route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
   | None -> ());
+  let stall_cycles =
+    if Task.uses_adc task then excess_adc_stalls task ~avail:avail_adc else 0
+  in
   let record =
     {
       Trace.task = task;
@@ -136,25 +171,37 @@ let execute t launch =
       banks = n_banks_used;
       tp = Timing.task_tp task;
       fill_cycles = Timing.fill_cycles task;
-      cycles = Timing.task_cycles task;
+      cycles = Timing.task_cycles task + stall_cycles;
       adc_conversions = !adc_conversions / max 1 n_banks_used;
       crossbank_transfers =
         Crossbank.transfers_per_iteration ~banks:n_banks_used * iterations;
       th_ops = Th_unit.ops_executed th;
+      stall_cycles;
     }
   in
   Trace.record t.trace record;
-  {
-    emitted = List.rev !emitted;
-    acc_out = List.rev !acc_out;
-    xreg_out = List.rev !xreg_out;
-    write_buffer = List.rev !wbuf;
-    argext = Th_unit.argext th;
-    digital = List.rev !digital;
-    record;
-  }
+  Ok
+    {
+      emitted = List.rev !emitted;
+      acc_out = List.rev !acc_out;
+      xreg_out = List.rev !xreg_out;
+      write_buffer = List.rev !wbuf;
+      argext = Th_unit.argext th;
+      digital = List.rev !digital;
+      record;
+    }
 
-let run t launches = List.map (execute t) launches
+let execute_exn ?lane_mask t launch = E.to_invalid_arg (execute ?lane_mask t launch)
+
+let run t launches =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match execute t l with
+        | Ok r -> go (r :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] launches
 
 let default_launch (task : Task.t) =
   let p = task.Task.op_param in
@@ -175,9 +222,21 @@ let default_launch (task : Task.t) =
   }
 
 let run_program t (program : Program.t) =
-  List.map (fun task -> execute t (default_launch task)) program.Program.tasks
+  run t (List.map default_launch program.Program.tasks)
 
-let load_weights t ~group ~base ~plan w =
+(* Scatter a dense logical slice onto the physical lanes named by
+   [lane_map] (lane sparing); identity when no map. *)
+let scatter ?lane_map slice =
+  match lane_map with
+  | None -> slice
+  | Some map ->
+      if Array.length slice > Array.length map then
+        invalid_arg "Machine: lane_map shorter than the slice";
+      let phys = Array.make Params.lanes 0 in
+      Array.iteri (fun l c -> phys.(map.(l)) <- c) slice;
+      phys
+
+let load_weights ?lane_map t ~group ~base ~plan w =
   let n = plan.Layout.banks in
   let first = group * n in
   if first + n > n_banks t then
@@ -189,7 +248,10 @@ let load_weights t ~group ~base ~plan w =
     (fun r row ->
       for bank_i = 0 to n - 1 do
         for segment = 0 to plan.Layout.segments - 1 do
-          let slice = Layout.slice_of_vector plan row ~bank:bank_i ~segment in
+          let slice =
+            scatter ?lane_map
+              (Layout.slice_of_vector plan row ~bank:bank_i ~segment)
+          in
           let word_row = base + (r * plan.Layout.segments) + segment in
           Bitcell_array.write
             (Bank.array t.banks.(first + bank_i))
@@ -198,7 +260,7 @@ let load_weights t ~group ~base ~plan w =
       done)
     w
 
-let load_x t ~group ~xreg_base ~plan x =
+let load_x ?lane_map t ~group ~xreg_base ~plan x =
   let n = plan.Layout.banks in
   let first = group * n in
   if first + n > n_banks t then
@@ -207,7 +269,9 @@ let load_x t ~group ~xreg_base ~plan x =
     invalid_arg "Machine.load_x: X-REG overflow";
   for bank_i = 0 to n - 1 do
     for segment = 0 to plan.Layout.segments - 1 do
-      let slice = Layout.slice_of_vector plan x ~bank:bank_i ~segment in
+      let slice =
+        scatter ?lane_map (Layout.slice_of_vector plan x ~bank:bank_i ~segment)
+      in
       Xreg.load
         (Bank.xreg t.banks.(first + bank_i))
         ~index:(xreg_base + segment) slice

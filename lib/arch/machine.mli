@@ -50,14 +50,23 @@ type result = {
   record : Trace.task_record;
 }
 
-(** [execute t launch] — run every iteration of the task, combine bank
-    partials over the cross-bank rail, drive TH, route destinations, and
-    append a record to the trace. Raises [Invalid_argument] when the
-    bank group exceeds the machine. *)
-val execute : t -> launch -> result
+(** [execute ?lane_mask t launch] — run every iteration of the task,
+    combine bank partials over the cross-bank rail, drive TH, route
+    destinations, and append a record to the trace. [lane_mask] (lane
+    sparing, {!Layout.lane_mask_of_map}) restricts charge sharing to the
+    masked physical lanes. [Error] (typed, layer ["machine"]) when the
+    task fails validation, the bank group exceeds the machine, or every
+    ADC unit of the group is dead. *)
+val execute :
+  ?lane_mask:bool array -> t -> launch -> (result, Promise_core.Error.t) Stdlib.result
 
-(** [run t launches] — execute in order. *)
-val run : t -> launch list -> result list
+(** [execute_exn ?lane_mask t launch] — {!execute}, raising
+    [Invalid_argument] with the rendered error (assembler-level paths
+    and tests). *)
+val execute_exn : ?lane_mask:bool array -> t -> launch -> result
+
+(** [run t launches] — execute in order; stops at the first error. *)
+val run : t -> launch list -> (result list, Promise_core.Error.t) Stdlib.result
 
 (** [default_launch task] — a launch with ISA-level defaults for raw
     (assembler-driven) execution: bank group 0, all 128 lanes, unit ADC
@@ -68,22 +77,38 @@ val default_launch : Promise_isa.Task.t -> launch
 
 (** [run_program t program] — execute a raw ISA program with
     {!default_launch} semantics (the [promise-asm] path: no compiler
-    metadata needed). *)
-val run_program : t -> Promise_isa.Program.t -> result list
+    metadata needed); stops at the first error. *)
+val run_program :
+  t -> Promise_isa.Program.t -> (result list, Promise_core.Error.t) Stdlib.result
 
 (** {2 Data staging} *)
 
-(** [load_weights t ~group ~base ~plan w] — place row-chunk matrix [w]
-    (rows × vector_len 8-bit codes) into the banks of [group] starting
-    at word row [base], per [plan]'s slicing. *)
+(** [load_weights ?lane_map t ~group ~base ~plan w] — place row-chunk
+    matrix [w] (rows × vector_len 8-bit codes) into the banks of
+    [group] starting at word row [base], per [plan]'s slicing.
+    [lane_map] ({!Layout.spare_map}) scatters logical lane [l] of each
+    slice to physical lane [lane_map.(l)] (lane sparing). *)
 val load_weights :
-  t -> group:int -> base:int -> plan:Layout.plan -> int array array -> unit
+  ?lane_map:int array ->
+  t ->
+  group:int ->
+  base:int ->
+  plan:Layout.plan ->
+  int array array ->
+  unit
 
-(** [load_x t ~group ~xreg_base ~plan x] — broadcast the input vector's
-    per-bank, per-segment slices into X-REG entries
-    [xreg_base .. xreg_base + segments - 1] of each bank in [group]. *)
+(** [load_x ?lane_map t ~group ~xreg_base ~plan x] — broadcast the input
+    vector's per-bank, per-segment slices into X-REG entries
+    [xreg_base .. xreg_base + segments - 1] of each bank in [group],
+    scattered through [lane_map] when present. *)
 val load_x :
-  t -> group:int -> xreg_base:int -> plan:Layout.plan -> int array -> unit
+  ?lane_map:int array ->
+  t ->
+  group:int ->
+  xreg_base:int ->
+  plan:Layout.plan ->
+  int array ->
+  unit
 
 (** [read_xreg t ~bank ~xreg] — one bank's view of an X-REG vector
     (Class-4 [Des_xreg] emits broadcast to every bank of the group, so

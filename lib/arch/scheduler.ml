@@ -11,7 +11,9 @@ type schedule = { events : event list; completion : int; adc_stalls : int }
    8 x TP >= 138 is required for stall-free operation — the harness's
    fidelity section quantifies that gap. [ideal_adc] selects between
    the two. *)
-let run ?(ideal_adc = true) (task : Task.t) =
+let run ?(ideal_adc = true) ?(adc_units = Promise_analog.Adc.units_per_bank)
+    (task : Task.t) =
+  if adc_units < 1 then invalid_arg "Scheduler.run: adc_units must be >= 1";
   let tp = Timing.task_tp task in
   let d1 = Timing.class1_delay task.Task.class1 in
   let d2 = Timing.class2_delay task.Task.class2 in
@@ -19,7 +21,7 @@ let run ?(ideal_adc = true) (task : Task.t) =
   let d4 = Timing.class4_delay task.Task.class4 in
   let uses_adc = Task.uses_adc task in
   let n = Task.iterations task in
-  let unit_free = Array.make Promise_analog.Adc.units_per_bank 0 in
+  let unit_free = Array.make adc_units 0 in
   let events = ref [] in
   let emit iteration stage start finish =
     events := { iteration; stage; start; finish } :: !events

@@ -29,8 +29,11 @@ type schedule = {
     internally pipelined, as the paper's throughput model assumes; with
     [~ideal_adc:false] each of the eight units is busy for the whole
     138-cycle conversion, exposing stalls whenever 8·TP < 138 (the
-    inconsistency the EXPERIMENTS.md fidelity note quantifies). *)
-val run : ?ideal_adc:bool -> Promise_isa.Task.t -> schedule
+    inconsistency the EXPERIMENTS.md fidelity note quantifies).
+    [adc_units] (default 8, must be ≥ 1) models a bank with some ADC
+    units disabled (see {!Faults.with_dead_adc_units}); it only
+    matters with [~ideal_adc:false]. *)
+val run : ?ideal_adc:bool -> ?adc_units:int -> Promise_isa.Task.t -> schedule
 
 (** [throughput_interval s] — observed steady-state initiation interval:
     the mean gap between TH completions over the second half of the

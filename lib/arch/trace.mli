@@ -13,6 +13,9 @@ type task_record = {
   adc_conversions : int;  (** per bank *)
   crossbank_transfers : int;  (** 8-bit words moved on the rail *)
   th_ops : int;  (** Class-4 operations executed (on bank 0) *)
+  stall_cycles : int;
+      (** excess ADC stalls attributable to disabled ADC units
+          ({!Faults.with_dead_adc_units}); 0 on a healthy group *)
 }
 
 type t = {
@@ -36,6 +39,6 @@ val elapsed_ns : t -> float
 val pp : Format.formatter -> t -> unit
 
 (** [to_csv t] — one line per task record (oldest first) with a header:
-    [class1,class2,class4,swing,iterations,banks,tp,fill,cycles,adc,rail,th].
+    [class1,class2,class4,swing,iterations,banks,tp,fill,cycles,adc,rail,th,stalls].
     For offline analysis/plotting of executions. *)
 val to_csv : t -> string

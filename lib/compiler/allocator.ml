@@ -21,15 +21,30 @@ let ( let* ) = Result.bind
 (* Pack one level's independent tasks into waves of bank groups. Tasks
    are placed greedily at the lowest free bank; when the machine is
    full, a new wave starts after the slowest task of the current one. *)
-let pack_level ~total_banks ~level ~level_start tasks =
+let pack_level ?(excluded = []) ~total_banks ~level ~level_start tasks =
+  (* Lowest placement at or above [from] whose bank range avoids the
+     excluded (faulted) banks. *)
+  let find_slot from banks =
+    let usable first =
+      not (List.exists (fun b -> b >= first && b < first + banks) excluded)
+    in
+    let rec go first =
+      if first + banks > total_banks then None
+      else if usable first then Some first
+      else go (first + 1)
+    in
+    go from
+  in
   let* () =
     match
-      List.find_opt (fun t -> Task.banks t > total_banks) tasks
+      List.find_opt (fun t -> find_slot 0 (Task.banks t) = None) tasks
     with
     | Some t ->
         Error
-          (Printf.sprintf "task needs %d banks but the machine has %d"
-             (Task.banks t) total_banks)
+          (Printf.sprintf
+             "task needs %d contiguous healthy banks but the machine has %d \
+              total (%d excluded)"
+             (Task.banks t) total_banks (List.length excluded))
     | None -> Ok ()
   in
   let assignments = ref [] in
@@ -40,23 +55,27 @@ let pack_level ~total_banks ~level ~level_start tasks =
   List.iter
     (fun task ->
       let banks = Task.banks task in
-      if !next_bank + banks > total_banks then begin
-        (* close the wave *)
-        wave_start := !wave_finish;
-        next_bank := 0
-      end;
+      let first =
+        match find_slot !next_bank banks with
+        | Some f -> f
+        | None ->
+            (* close the wave *)
+            wave_start := !wave_finish;
+            next_bank := 0;
+            Option.get (find_slot 0 banks)
+      in
       let start_cycle = !wave_start in
       let finish_cycle = start_cycle + Timing.task_steady_cycles task in
       assignments :=
-        { task; level; first_bank = !next_bank; start_cycle; finish_cycle }
+        { task; level; first_bank = first; start_cycle; finish_cycle }
         :: !assignments;
-      next_bank := !next_bank + banks;
+      next_bank := first + banks;
       peak := max !peak !next_bank;
       wave_finish := max !wave_finish finish_cycle)
     tasks;
   Ok (List.rev !assignments, !wave_finish, !peak)
 
-let plan ~total_banks tasks =
+let plan ?excluded ~total_banks tasks =
   if total_banks < 1 then Error "total_banks must be >= 1"
   else begin
     let levels =
@@ -72,7 +91,7 @@ let plan ~total_banks tasks =
               tasks
           in
           let* placed, finish, level_peak =
-            pack_level ~total_banks ~level ~level_start:t level_tasks
+            pack_level ?excluded ~total_banks ~level ~level_start:t level_tasks
           in
           Ok (assignments @ placed, finish, max peak level_peak))
         (Ok ([], 0, 0))
@@ -99,7 +118,7 @@ let plan ~total_banks tasks =
     Ok { assignments; banks_used = peak; makespan; pipelined_interval }
   end
 
-let of_program ~total_banks ~levels (program : Program.t) =
+let of_program ?excluded ~total_banks ~levels (program : Program.t) =
   let* tagged =
     let rec tag level remaining tasks acc =
       match (remaining, tasks) with
@@ -112,7 +131,7 @@ let of_program ~total_banks ~levels (program : Program.t) =
     in
     tag 0 levels program.Program.tasks []
   in
-  plan ~total_banks tagged
+  plan ?excluded ~total_banks tagged
 
 let decisions_per_second p =
   1e9 /. (float_of_int (max 1 p.pipelined_interval) *. Promise_arch.Params.cycle_ns)

@@ -28,12 +28,15 @@ type plan = {
           pipeline across levels: the slowest level's span *)
 }
 
-(** [plan ~total_banks tasks] — greedy left-to-right packing of each
-    level's tasks onto bank groups; a level's tasks that do not fit
-    simultaneously serialize in waves. [Error] when a single task needs
-    more banks than the machine has. Tasks use their steady-state
+(** [plan ?excluded ~total_banks tasks] — greedy left-to-right packing
+    of each level's tasks onto bank groups; a level's tasks that do not
+    fit simultaneously serialize in waves. [excluded] lists faulted
+    banks no task may occupy (graceful degradation: placement skips
+    over them). [Error] when a single task needs more contiguous
+    healthy banks than the machine has. Tasks use their steady-state
     duration ({!Promise_arch.Timing.task_steady_cycles}). *)
 val plan :
+  ?excluded:int list ->
   total_banks:int ->
   (Promise_isa.Task.t * int) list ->
   (plan, string) result
@@ -43,6 +46,7 @@ val plan :
     compiler) and plan it. [levels] lists how many consecutive tasks
     belong to each level; their sum must equal the program length. *)
 val of_program :
+  ?excluded:int list ->
   total_banks:int ->
   levels:int list ->
   Promise_isa.Program.t ->

@@ -1,8 +1,10 @@
 open Promise_isa
 module At = Promise_ir.Abstract_task
 module Layout = Promise_arch.Layout
+module E = Promise_core.Error
 
 let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun msg -> E.fail ~layer:"compiler" msg) fmt
 
 let classes_of (at : At.t) =
   let avd asd = { Opcode.asd; avd = true } in
@@ -24,7 +26,7 @@ let classes_of (at : At.t) =
     | At.Vo_mul_unsigned, At.Ro_sum ->
         Ok (Opcode.C1_aread, avd Opcode.Asd_unsign_mult)
     | (At.Vo_mul_signed | At.Vo_mul_unsigned), _ ->
-        Error "a multiply vecOp admits only a plain sum reduction"
+        fail "a multiply vecOp admits only a plain sum reduction"
     | At.Vo_none, At.Ro_sum -> Ok (Opcode.C1_aread, avd Opcode.Asd_none)
     | At.Vo_none, At.Ro_sum_abs ->
         Ok (Opcode.C1_aread, avd Opcode.Asd_absolute)
@@ -62,11 +64,11 @@ let lower_chunk ?(terminal = false) (at : At.t) ~plan ~chunk ~w_base
     ~xreg_base =
   let* class1, class2, class3, class4 = classes_of at in
   if chunk < 0 || chunk >= plan.Layout.tasks then
-    Error (Printf.sprintf "chunk %d out of range" chunk)
+    fail "chunk %d out of range" chunk
   else
     let rows = Layout.chunk_rows plan chunk in
     let iterations = rows * plan.Layout.segments in
-    if iterations > 128 then Error "row chunk exceeds RPT_NUM capacity"
+    if iterations > 128 then fail "row chunk exceeds RPT_NUM capacity"
     else
       let op_param =
         {
@@ -102,8 +104,10 @@ let program_of_graph g =
         let* tasks = acc in
         let at = Promise_ir.Graph.task g id in
         let* plan =
-          Layout.plan ~vector_len:at.At.vector_len
-            ~rows:at.At.loop_iterations
+          Result.map_error
+            (E.of_string ~layer:"compiler")
+            (Layout.plan ~vector_len:at.At.vector_len
+               ~rows:at.At.loop_iterations ())
         in
         let terminal = Promise_ir.Graph.successors g id = [] in
         let* lowered = lower ~terminal at ~plan in

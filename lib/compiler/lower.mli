@@ -13,7 +13,8 @@ open Promise_isa
     combination (e.g. multiply composed with an absolute reduction). *)
 val classes_of :
   Promise_ir.Abstract_task.t ->
-  (Opcode.class1 * Opcode.class2 * Opcode.class3 * Opcode.class4, string)
+  ( Opcode.class1 * Opcode.class2 * Opcode.class3 * Opcode.class4,
+    Promise_core.Error.t )
   result
 
 (** [threshold_code value] — quantize a normalized threshold in [-1, 1]
@@ -34,16 +35,17 @@ val lower_chunk :
   chunk:int ->
   w_base:int ->
   xreg_base:int ->
-  (Task.t, string) result
+  (Task.t, Promise_core.Error.t) result
 
 (** [lower ?terminal at ~plan] — all row chunks (w_base 0, xreg 0). *)
 val lower :
   ?terminal:bool ->
   Promise_ir.Abstract_task.t ->
   plan:Promise_arch.Layout.plan ->
-  (Task.t list, string) result
+  (Task.t list, Promise_core.Error.t) result
 
 (** [program_of_graph g] — lower every task of an IR graph (in
     topological order) into a single ISA program, named after the graph
     tasks. Uses each task's own layout plan. *)
-val program_of_graph : Promise_ir.Graph.t -> (Program.t, string) result
+val program_of_graph :
+  Promise_ir.Graph.t -> (Program.t, Promise_core.Error.t) result

@@ -1,10 +1,17 @@
+module E = Promise_core.Error
+
 let ( let* ) = Result.bind
 
 let compile kernel =
   let ssa = Promise_ir.Dsl.lower kernel in
-  Promise_ir.Pattern.match_function ssa
+  Result.map_error
+    (E.of_string ~layer:"frontend")
+    (Promise_ir.Pattern.match_function ssa)
 
-let optimize = Swing_opt.optimize_graph
+let optimize ?guard_bits g ~stats ~pm =
+  Result.map_error
+    (E.of_string ~layer:"optimizer")
+    (Swing_opt.optimize_graph ?guard_bits g ~stats ~pm)
 
 let codegen = Lower.program_of_graph
 
@@ -29,6 +36,6 @@ let compile_to_binary kernel =
         Swing_opt.search_space_size ~tasks:(Promise_ir.Graph.n_tasks graph);
     }
 
-let run ?machine kernel bindings =
+let run ?machine ?recovery kernel bindings =
   let* graph = compile kernel in
-  Runtime.run ?machine graph bindings
+  Runtime.run ?machine ?recovery graph bindings

@@ -4,7 +4,8 @@
 
 (** [compile kernel] — frontend + PROMISE pass: the IR graph with all
     swings at maximum (0b111). *)
-val compile : Promise_ir.Dsl.kernel -> (Promise_ir.Graph.t, string) result
+val compile :
+  Promise_ir.Dsl.kernel -> (Promise_ir.Graph.t, Promise_core.Error.t) result
 
 (** [optimize ?guard_bits g ~stats ~pm] — the analytic energy
     optimization ({!Swing_opt.optimize_graph}). *)
@@ -13,10 +14,11 @@ val optimize :
   Promise_ir.Graph.t ->
   stats:Precision.stats ->
   pm:float ->
-  (Promise_ir.Graph.t * int, string) result
+  (Promise_ir.Graph.t * int, Promise_core.Error.t) result
 
 (** [codegen g] — the binary-encodable ISA program. *)
-val codegen : Promise_ir.Graph.t -> (Promise_isa.Program.t, string) result
+val codegen :
+  Promise_ir.Graph.t -> (Promise_isa.Program.t, Promise_core.Error.t) result
 
 (** A full compilation report. *)
 type report = {
@@ -28,11 +30,14 @@ type report = {
 }
 
 (** [compile_to_binary kernel] — DSL all the way to bytes. *)
-val compile_to_binary : Promise_ir.Dsl.kernel -> (report, string) result
+val compile_to_binary :
+  Promise_ir.Dsl.kernel -> (report, Promise_core.Error.t) result
 
-(** [run ?machine kernel bindings] — compile and execute. *)
+(** [run ?machine ?recovery kernel bindings] — compile and execute;
+    [recovery] enables the runtime's graceful-degradation path. *)
 val run :
   ?machine:Promise_arch.Machine.t ->
+  ?recovery:Runtime.recovery ->
   Promise_ir.Dsl.kernel ->
   Runtime.bindings ->
-  (Runtime.run_result, string) result
+  (Runtime.run_result, Promise_core.Error.t) result

@@ -4,7 +4,10 @@ module Machine = Promise_arch.Machine
 module Layout = Promise_arch.Layout
 module Bank = Promise_arch.Bank
 module Params = Promise_arch.Params
+module Th_unit = Promise_arch.Th_unit
+module Selftest = Promise_arch.Selftest
 module Fx = Promise_ml.Fixed_point
+module E = Promise_core.Error
 open Promise_isa
 
 type bindings = {
@@ -41,18 +44,86 @@ type task_output = {
   decision : (int * float) option;
 }
 
+type recovery = {
+  max_retries : int;
+  digital_fallback : bool;
+  canary_tolerance : float;
+  excluded_banks : int list;
+  spared_lanes : int list;
+}
+
+let default_recovery =
+  {
+    max_retries = 2;
+    digital_fallback = true;
+    canary_tolerance = 0.25;
+    excluded_banks = [];
+    spared_lanes = [];
+  }
+
+let recovery_of_report (r : Selftest.report) =
+  let excluded =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (f : Selftest.finding) ->
+           match f.Selftest.kind with
+           | Selftest.Dead_bank -> Some f.Selftest.bank
+           | Selftest.Dead_adc { stall_cycles } when stall_cycles = max_int ->
+               Some f.Selftest.bank
+           | _ -> None)
+         r.Selftest.findings)
+  in
+  let spared =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (f : Selftest.finding) ->
+           match f.Selftest.kind with
+           | Selftest.Stuck_lane { lane; _ } | Selftest.Dead_lane { lane } ->
+               Some lane
+           | _ -> None)
+         r.Selftest.findings)
+  in
+  { default_recovery with excluded_banks = excluded; spared_lanes = spared }
+
+type recovery_stats = {
+  retries : int;
+  fallbacks : int;
+  canary_failures : int;
+  spared_lanes : int list;
+  excluded_banks : int list;
+}
+
+let no_recovery_stats =
+  {
+    retries = 0;
+    fallbacks = 0;
+    canary_failures = 0;
+    spared_lanes = [];
+    excluded_banks = [];
+  }
+
+type counters = {
+  mutable c_retries : int;
+  mutable c_fallbacks : int;
+  mutable c_canary_failures : int;
+}
+
 type run_result = {
   outputs : (int * task_output) list;
   machine : Machine.t;
+  stats : recovery_stats;
 }
 
 let ( let* ) = Result.bind
+let fail ?code ?context fmt =
+  Printf.ksprintf (fun msg -> E.fail ~layer:"runtime" ?code ?context msg) fmt
 
-let required_banks g =
+let required_banks ?max_lanes g =
   List.fold_left
     (fun acc (_, at) ->
       match
-        Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations
+        Layout.plan ?max_lanes ~vector_len:at.At.vector_len
+          ~rows:at.At.loop_iterations ()
       with
       | Ok p -> max acc p.Layout.banks
       | Error _ -> acc)
@@ -106,17 +177,21 @@ let resolve_w g b id (at : At.t) =
       (Graph.predecessors g id)
   in
   if from_edge then
-    Error
-      (Printf.sprintf "task %S: W produced by another task is not supported"
-         at.At.name)
+    fail ~code:E.Unsupported
+      ~context:[ ("task", at.At.name) ]
+      "W produced by another task is not supported"
   else
     match Hashtbl.find_opt b.matrices at.At.w with
-    | None -> Error (Printf.sprintf "unbound W matrix %S" at.At.w)
+    | None ->
+        fail ~code:E.Invalid_operand
+          ~context:[ ("task", at.At.name) ]
+          "unbound W matrix %S" at.At.w
     | Some m ->
         if Array.length m < at.At.loop_iterations then
-          Error
-            (Printf.sprintf "W matrix %S has %d rows, task needs %d" at.At.w
-               (Array.length m) at.At.loop_iterations)
+          fail ~code:E.Invalid_operand
+            ~context:[ ("task", at.At.name) ]
+            "W matrix %S has %d rows, task needs %d" at.At.w (Array.length m)
+            at.At.loop_iterations
         else Ok (Array.sub m 0 at.At.loop_iterations)
 
 let resolve_x g b outputs id (at : At.t) =
@@ -131,11 +206,17 @@ let resolve_x g b outputs id (at : At.t) =
     | Some (pid, _) -> (
         match Hashtbl.find_opt outputs pid with
         | Some out -> Ok (Some out.values)
-        | None -> Error (Printf.sprintf "producer %d has no output yet" pid))
+        | None ->
+            fail ~code:E.Internal
+              ~context:[ ("task", at.At.name) ]
+              "producer %d has no output yet" pid)
     | None -> (
         match Hashtbl.find_opt b.vectors at.At.x with
         | Some v -> Ok (Some v)
-        | None -> Error (Printf.sprintf "unbound X vector %S" at.At.x))
+        | None ->
+            fail ~code:E.Invalid_operand
+              ~context:[ ("task", at.At.name) ]
+              "unbound X vector %S" at.At.x)
 
 (* ADC range matching: a digital preview of every per-bank charge-share
    mean picks the largest power-of-two pre-ADC gain that keeps the
@@ -212,18 +293,72 @@ let better_decision class4 (a : int * float) (b : (int * float) option) =
 
 let dest_xreg_index = Params.xreg_depth - 1
 
-let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
+(* The digital reference for a chunk (the canary): the same per-bank
+   charge-share means the analog path computes, with noise, LUT shaping
+   and ADC quantization removed, fed through an identical TH unit. *)
+let ideal_chunk (at : At.t) ~plan ~th ~w_rows ~x_row =
+  let th_sim = Th_unit.create th in
+  let emitted = ref [] in
+  let collect (emit : Th_unit.emit) =
+    match emit.Th_unit.des with
+    | Opcode.Des_output_buffer -> emitted := emit.Th_unit.value :: !emitted
+    | Opcode.Des_acc | Opcode.Des_xreg | Opcode.Des_write_buffer ->
+        emitted := emit.Th_unit.value :: !emitted
+  in
+  let rows = Array.length w_rows in
+  for i = 0 to (rows * plan.Layout.segments) - 1 do
+    let r = i / plan.Layout.segments in
+    let segment = i mod plan.Layout.segments in
+    let combined = ref 0.0 in
+    for bank = 0 to plan.Layout.banks - 1 do
+      let w_slice = Layout.slice_of_vector plan w_rows.(r) ~bank ~segment in
+      let x_slice =
+        Option.map (fun x -> Layout.slice_of_vector plan x ~bank ~segment) x_row
+      in
+      combined :=
+        !combined
+        +. ideal_partial_mean at ~w_slice ~x_slice
+             ~lanes:plan.Layout.lanes_per_bank
+    done;
+    match Th_unit.push th_sim !combined with
+    | Some e -> collect e
+    | None -> ()
+  done;
+  (match Th_unit.finish th_sim with Some e -> collect e | None -> ());
+  (List.rev !emitted, Th_unit.argext th_sim)
+
+let canary_ok ~tolerance actual reference =
+  List.length actual = List.length reference
+  && List.for_all2
+       (fun a r ->
+         Float.abs (a -. r) <= tolerance *. Float.max 1.0 (Float.abs r))
+       actual reference
+
+(* Bank groups whose banks are all healthy (graceful degradation:
+   excluded banks hold no data and execute no tasks). *)
+let allowed_groups ~excluded ~(plan : Layout.plan) ~groups =
+  let max_group = max 1 (groups / plan.Layout.banks) in
+  let ok g =
+    let first = g * plan.Layout.banks in
+    not
+      (List.exists
+         (fun b -> b >= first && b < first + plan.Layout.banks)
+         excluded)
+  in
+  List.filter ok (List.init max_group (fun g -> g))
+
+let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
+    ~terminal ~w ~x_opt ~original_n =
   let* () =
     match x_opt with
     | Some x
       when Array.length x <> at.At.vector_len
            && Array.length x <> at.At.vector_len * at.At.loop_iterations ->
-        Error
-          (Printf.sprintf
-             "task %S: X has %d elements, expected %d (broadcast) or %d \
-              (streaming)"
-             at.At.name (Array.length x) at.At.vector_len
-             (at.At.vector_len * at.At.loop_iterations))
+        fail ~code:E.Invalid_operand
+          ~context:[ ("task", at.At.name) ]
+          "X has %d elements, expected %d (broadcast) or %d (streaming)"
+          (Array.length x) at.At.vector_len
+          (at.At.vector_len * at.At.loop_iterations)
     | _ -> Ok ()
   in
   let streaming =
@@ -235,6 +370,21 @@ let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
   in
   let w_codes, x_codes, rescale = quantize_operands at w x_opt in
   let groups = Machine.n_banks machine in
+  (* Lane sparing: plan around the faulty columns and scatter slices
+     onto the healthy physical lanes. *)
+  let spared =
+    List.sort_uniq compare
+      (List.filter
+         (fun l -> l >= 0 && l < Params.lanes)
+         (match recovery with Some r -> r.spared_lanes | None -> []))
+  in
+  let lane_map =
+    if spared = [] then None else Some (Layout.spare_map ~faulty:spared)
+  in
+  let max_lanes = Option.map Array.length lane_map in
+  let excluded =
+    match recovery with Some r -> r.excluded_banks | None -> []
+  in
   let values = ref [] and decision = ref None in
   let run_chunks plan ~adc_gain ~rows_of_chunk ~w_rows_of_chunk ~x_of_chunk
       ~n_chunks =
@@ -246,7 +396,20 @@ let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
       float_of_int plan.Layout.lanes_per_bank
       *. Bank.analog_scale template *. rescale
     in
-    let max_group = max 1 (groups / plan.Layout.banks) in
+    let lane_mask =
+      Option.map
+        (fun map -> Layout.lane_mask_of_map map ~used:plan.Layout.lanes_per_bank)
+        lane_map
+    in
+    let* allowed =
+      match allowed_groups ~excluded ~plan ~groups with
+      | [] ->
+          fail ~code:E.Capacity
+            ~context:[ ("task", at.At.name) ]
+            "every bank group overlaps an excluded bank"
+      | l -> Ok l
+    in
+    let n_allowed = List.length allowed in
     let rec go chunk row_offset =
       if chunk >= n_chunks then Ok ()
       else
@@ -264,15 +427,16 @@ let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
                 }
               ~chunk:0 ~w_base:0 ~xreg_base:0
         in
-        let group = chunk mod max_group in
-        Machine.load_weights machine ~group ~base:0 ~plan
-          (w_rows_of_chunk chunk rows_c);
-        (match x_of_chunk chunk with
-        | Some xc -> Machine.load_x machine ~group ~xreg_base:0 ~plan xc
+        let group = List.nth allowed (chunk mod n_allowed) in
+        let w_rows = w_rows_of_chunk chunk rows_c in
+        let x_chunk = x_of_chunk chunk in
+        Machine.load_weights ?lane_map machine ~group ~base:0 ~plan w_rows;
+        (match x_chunk with
+        | Some xc -> Machine.load_x ?lane_map machine ~group ~xreg_base:0 ~plan xc
         | None -> ());
         let th =
           {
-            Promise_arch.Th_unit.op = class4;
+            Th_unit.op = class4;
             acc_num = task.Task.op_param.Op_param.acc_num;
             threshold = at.At.threshold;
             gain;
@@ -289,26 +453,81 @@ let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
             dest_xreg = dest_xreg_index;
           }
         in
-        let result = Machine.execute machine launch in
-        values := !values @ result.Machine.emitted @ result.Machine.xreg_out;
-        (match result.Machine.argext with
-        | Some (gidx, v) ->
-            decision := better_decision class4 (row_offset + gidx, v) !decision
-        | None -> ());
+        (* The canary-checked retry/fallback path applies to chunks whose
+           emissions go to the output buffer: re-executing them is
+           side-effect-free (X-REG/write-buffer staging is not). *)
+        let checked =
+          recovery <> None
+          && Opcode.equal_destination task.Task.op_param.Op_param.des
+               Opcode.Des_output_buffer
+        in
+        let* outcome =
+          if not checked then
+            let* result = Machine.execute ?lane_mask machine launch in
+            Ok (`Accepted result)
+          else
+            let r = Option.get recovery in
+            let reference, ref_argext =
+              ideal_chunk at ~plan ~th ~w_rows ~x_row:x_chunk
+            in
+            let rec attempt tries =
+              let* result = Machine.execute ?lane_mask machine launch in
+              if
+                canary_ok ~tolerance:r.canary_tolerance
+                  result.Machine.emitted reference
+              then Ok (`Accepted result)
+              else begin
+                counters.c_canary_failures <- counters.c_canary_failures + 1;
+                if tries < r.max_retries then begin
+                  counters.c_retries <- counters.c_retries + 1;
+                  attempt (tries + 1)
+                end
+                else if r.digital_fallback then begin
+                  counters.c_fallbacks <- counters.c_fallbacks + 1;
+                  Ok (`Fallback (reference, ref_argext))
+                end
+                else
+                  fail ~code:E.Retry_exhausted
+                    ~context:
+                      [
+                        ("task", at.At.name); ("chunk", string_of_int chunk);
+                      ]
+                    "analog result failed its canary bound %d times"
+                    (r.max_retries + 1)
+              end
+            in
+            attempt 0
+        in
+        (match outcome with
+        | `Accepted result ->
+            values := !values @ result.Machine.emitted @ result.Machine.xreg_out;
+            (match result.Machine.argext with
+            | Some (gidx, v) ->
+                decision :=
+                  better_decision class4 (row_offset + gidx, v) !decision
+            | None -> ())
+        | `Fallback (reference, ref_argext) ->
+            values := !values @ reference;
+            (match ref_argext with
+            | Some (gidx, v) ->
+                decision :=
+                  better_decision class4 (row_offset + gidx, v) !decision
+            | None -> ()));
         go (chunk + 1) (row_offset + rows_c)
     in
     go 0 0
   in
+  let typed_plan p = Result.map_error (E.of_string ~layer:"runtime") p in
   let* () =
     if streaming then
       let x = Option.get x_codes in
-      let* plan = Layout.plan ~vector_len:at.At.vector_len ~rows:1 in
-      let x_row r =
-        Array.sub x (r * at.At.vector_len) at.At.vector_len
+      let* plan =
+        typed_plan
+          (Layout.plan ?max_lanes ~vector_len:at.At.vector_len ~rows:1 ())
       in
+      let x_row r = Array.sub x (r * at.At.vector_len) at.At.vector_len in
       let adc_gain =
-        estimate_adc_gain at plan ~w_codes
-          ~x_for_row:(fun r -> Some (x_row r))
+        estimate_adc_gain at plan ~w_codes ~x_for_row:(fun r -> Some (x_row r))
       in
       run_chunks plan ~adc_gain
         ~rows_of_chunk:(fun _ -> 1)
@@ -317,7 +536,9 @@ let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
         ~n_chunks:at.At.loop_iterations
     else
       let* plan =
-        Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations
+        typed_plan
+          (Layout.plan ?max_lanes ~vector_len:at.At.vector_len
+             ~rows:at.At.loop_iterations ())
       in
       let adc_gain =
         estimate_adc_gain at plan ~w_codes ~x_for_row:(fun _ -> x_codes)
@@ -335,12 +556,11 @@ let run_task machine (at : At.t) ~terminal ~w ~x_opt ~original_n =
   | At.Do_mean ->
       let total = Array.fold_left ( +. ) 0.0 values in
       Ok { values = [| total /. float_of_int original_n |]; decision = None }
-  | At.Do_min | At.Do_max ->
-      Ok { values; decision = !decision }
+  | At.Do_min | At.Do_max -> Ok { values; decision = !decision }
   | At.Do_none | At.Do_sigmoid | At.Do_relu | At.Do_threshold ->
       Ok { values; decision = None }
 
-let run ?machine g b =
+let run ?machine ?recovery g b =
   let machine =
     match machine with
     | Some m -> m
@@ -352,6 +572,7 @@ let run ?machine g b =
             noise_seed = Some 42;
           }
   in
+  let counters = { c_retries = 0; c_fallbacks = 0; c_canary_failures = 0 } in
   let order = Graph.topological_order g in
   let outputs = Hashtbl.create 8 in
   let* ids =
@@ -367,27 +588,44 @@ let run ?machine g b =
           | None -> at.At.vector_len * at.At.loop_iterations
         in
         let terminal = Graph.successors g id = [] in
-        let* out = run_task machine at ~terminal ~w ~x_opt ~original_n in
+        let* out =
+          run_task machine ~recovery ~counters at ~terminal ~w ~x_opt
+            ~original_n
+        in
         Hashtbl.replace outputs id out;
         Ok (id :: ids))
       (Ok []) order
   in
   let ordered = List.rev ids in
+  let stats =
+    {
+      retries = counters.c_retries;
+      fallbacks = counters.c_fallbacks;
+      canary_failures = counters.c_canary_failures;
+      spared_lanes =
+        (match recovery with Some r -> r.spared_lanes | None -> []);
+      excluded_banks =
+        (match recovery with Some r -> r.excluded_banks | None -> []);
+    }
+  in
   Ok
     {
       outputs = List.map (fun id -> (id, Hashtbl.find outputs id)) ordered;
       machine;
+      stats;
     }
 
 let output_of r id =
   match List.assoc_opt id r.outputs with
   | Some o -> Ok o
-  | None -> Error (Printf.sprintf "no output for node %d" id)
+  | None ->
+      E.fail ~layer:"runtime" ~code:E.Internal
+        (Printf.sprintf "no output for node %d" id)
 
 let final_output r =
   match List.rev r.outputs with
   | (_, o) :: _ -> Ok o
-  | [] -> Error "empty run result"
+  | [] -> E.fail ~layer:"runtime" ~code:E.Internal "empty run result"
 
 module For_tests = struct
   let estimate_adc_gain = estimate_adc_gain

@@ -14,7 +14,13 @@
       the paper's §6.2 re-access penalty;
     - chains DAG edges (a producer's output becomes the consumer's X),
       combines min/max decisions across chunks, and divides [Do_mean]
-      accumulations by N on the host. *)
+      accumulations by N on the host;
+    - optionally degrades gracefully around known hardware faults
+      ({!recovery}): lane sparing re-plans the layout over the healthy
+      bit-cell columns, excluded banks execute no tasks, and a digital
+      canary bounds every output-buffer chunk, retrying and finally
+      falling back to the digital reference when the analog result is
+      out of bounds. *)
 
 type bindings
 
@@ -32,28 +38,72 @@ type task_output = {
   decision : (int * float) option;  (** fused argmin/argmax (row, value) *)
 }
 
+(** {2 Graceful degradation} *)
+
+(** How to run in the presence of known faults. *)
+type recovery = {
+  max_retries : int;
+      (** re-executions of a chunk whose canary fails (transients often
+          pass on retry) *)
+  digital_fallback : bool;
+      (** after the retry budget, substitute the digital reference for
+          the chunk instead of failing *)
+  canary_tolerance : float;
+      (** a chunk value [v] with digital reference [r] passes when
+          [|v - r| <= tolerance * max 1 |r|] *)
+  excluded_banks : int list;  (** banks that hold no data, run no task *)
+  spared_lanes : int list;
+      (** faulty physical lanes; layouts avoid them ({!Promise_arch.Layout.spare_map}) *)
+}
+
+val default_recovery : recovery
+(** 2 retries, fallback on, tolerance 0.25, nothing excluded/spared. *)
+
+(** [recovery_of_report r] — {!default_recovery} specialized to a BIST
+    report: dead banks (and banks with every ADC unit dead) are
+    excluded; stuck and dead lanes are spared. Offset/drift/transient
+    findings are left to the canary + retry/fallback path. *)
+val recovery_of_report : Promise_arch.Selftest.report -> recovery
+
+type recovery_stats = {
+  retries : int;  (** chunk re-executions triggered by the canary *)
+  fallbacks : int;  (** chunks served from the digital reference *)
+  canary_failures : int;  (** canary misses, including retried ones *)
+  spared_lanes : int list;
+  excluded_banks : int list;
+}
+
+val no_recovery_stats : recovery_stats
+
 type run_result = {
   outputs : (int * task_output) list;  (** by IR node id, topo order *)
   machine : Promise_arch.Machine.t;
+  stats : recovery_stats;
 }
 
-(** [required_banks g] — banks the graph needs at one chunk per group
-    (the runtime reuses groups when the machine is smaller). *)
-val required_banks : Promise_ir.Graph.t -> int
+(** [required_banks ?max_lanes g] — banks the graph needs at one chunk
+    per group (the runtime reuses groups when the machine is smaller).
+    [max_lanes] mirrors the lane-sparing layout cap. *)
+val required_banks : ?max_lanes:int -> Promise_ir.Graph.t -> int
 
-(** [run ?machine g b] — execute the graph. When [machine] is omitted, a
-    default [Silicon]-profile machine with {!required_banks} banks
-    (seeded 42) is created. *)
+(** [run ?machine ?recovery g b] — execute the graph. When [machine] is
+    omitted, a default [Silicon]-profile machine with {!required_banks}
+    banks (seeded 42) is created. Without [recovery] the runtime
+    behaves exactly as before (no canary, full lane/bank use). Errors
+    are typed ({!Promise_core.Error.t}, layer ["runtime"] or
+    ["compiler"]); unrecoverable canary misses surface as
+    [Retry_exhausted]. *)
 val run :
   ?machine:Promise_arch.Machine.t ->
+  ?recovery:recovery ->
   Promise_ir.Graph.t ->
   bindings ->
-  (run_result, string) result
+  (run_result, Promise_core.Error.t) result
 
-val output_of : run_result -> int -> (task_output, string) result
+val output_of : run_result -> int -> (task_output, Promise_core.Error.t) result
 
 (** [final_output r] — output of the last node in topological order. *)
-val final_output : run_result -> (task_output, string) result
+val final_output : run_result -> (task_output, Promise_core.Error.t) result
 
 (** Internals exposed for tests. *)
 module For_tests : sig

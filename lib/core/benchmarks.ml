@@ -32,20 +32,31 @@ type t = {
   conv_opt_bits : int;
   reference_accuracy : float;
   is_classifier : bool;
-  evaluate : ?seed:int -> ?profile:Bank.profile -> swings:int list -> unit -> eval;
+  evaluate :
+    ?seed:int ->
+    ?profile:Bank.profile ->
+    ?prepare:(Machine.t -> unit) ->
+    ?recovery:Runtime.recovery ->
+    ?banks:int ->
+    swings:int list ->
+    unit ->
+    eval;
   stats : Precision.stats option;
 }
+
+let err_string = Promise_core.Error.to_string
 
 let compile_exn kernel =
   match Pipeline.compile kernel with
   | Ok g -> g
-  | Error msg ->
-      invalid_arg (Printf.sprintf "benchmark kernel failed to compile: %s" msg)
+  | Error e ->
+      invalid_arg
+        (Printf.sprintf "benchmark kernel failed to compile: %s" (err_string e))
 
 let codegen_exn g =
   match Pipeline.codegen g with
   | Ok p -> p
-  | Error msg -> invalid_arg ("benchmark codegen failed: " ^ msg)
+  | Error e -> invalid_arg ("benchmark codegen failed: " ^ err_string e)
 
 let apply_swings g swings =
   let order = Graph.topological_order g in
@@ -58,27 +69,33 @@ let apply_swings g swings =
 let silicon_machine ?(profile = Bank.Silicon) ~banks ~seed () =
   Machine.create { Machine.banks; profile; noise_seed = Some seed }
 
-let run_exn machine g b =
-  match Runtime.run ~machine g b with
+let run_exn ?recovery machine g b =
+  match Runtime.run ~machine ?recovery g b with
   | Ok r -> r
-  | Error msg -> invalid_arg ("benchmark run failed: " ^ msg)
+  | Error e -> invalid_arg ("benchmark run failed: " ^ err_string e)
 
 (* Generic classification evaluation: one machine for the whole test
-   set, one graph run per query. *)
+   set, one graph run per query. [prepare] runs on the freshly-created
+   machine (fault injection hook); [recovery] is forwarded to the
+   runtime; [banks] overrides the default machine size (lane sparing
+   may need spare banks). *)
 let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
     ~decide ~reference_accuracy =
- fun ?(seed = 42) ?(profile = Bank.Silicon) ~swings () ->
+ fun ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery ?banks ~swings
+     () ->
   let g = apply_swings graph swings in
-  let machine =
-    silicon_machine ~profile ~banks:(Runtime.required_banks g) ~seed ()
+  let banks =
+    match banks with Some b -> b | None -> Runtime.required_banks g
   in
+  let machine = silicon_machine ~profile ~banks ~seed () in
+  (match prepare with Some f -> f machine | None -> ());
   let correct = ref 0 in
   Array.iteri
     (fun i q ->
       let b = Runtime.bindings () in
       bind_static b;
       bind_query b q;
-      let r = run_exn machine g b in
+      let r = run_exn ?recovery machine g b in
       if decide r = labels.(i) then incr correct)
     queries;
   let promise_accuracy =
@@ -93,13 +110,13 @@ let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
 let final_values r =
   match Runtime.final_output r with
   | Ok o -> o.Runtime.values
-  | Error msg -> invalid_arg msg
+  | Error e -> invalid_arg (err_string e)
 
 let final_decision r =
   match Runtime.final_output r with
   | Ok { Runtime.decision = Some (i, _); _ } -> i
   | Ok _ -> invalid_arg "benchmark: no fused decision in output"
-  | Error msg -> invalid_arg msg
+  | Error e -> invalid_arg (err_string e)
 
 (* The digital CONV-OPT precision floor is 4 bits: the adaptive-precision
    range of the [7] silicon is 4-8 bits, and our synthetic data is more
@@ -490,11 +507,14 @@ let pca =
       let test = Array.sub samples 0 40 in
       (* Accuracy proxy for a non-classifier: 1 − mean relative feature
          error against the float reference. *)
-      let feature_fidelity ?(seed = 42) ?(profile = Bank.Silicon) ~swings () =
+      let feature_fidelity ?(seed = 42) ?(profile = Bank.Silicon) ?prepare
+          ?recovery ?banks ~swings () =
         let g = apply_swings graph swings in
-        let machine =
-          silicon_machine ~profile ~banks:(Runtime.required_banks g) ~seed ()
+        let banks =
+          match banks with Some b -> b | None -> Runtime.required_banks g
         in
+        let machine = silicon_machine ~profile ~banks ~seed () in
+        (match prepare with Some f -> f machine | None -> ());
         let total_err = ref 0.0 in
         Array.iter
           (fun x ->
@@ -503,7 +523,7 @@ let pca =
             let b = Runtime.bindings () in
             Runtime.bind_matrix b "W" model.Ml.Pca.components;
             Runtime.bind_vector b "x" centered;
-            let got = final_values (run_exn machine g b) in
+            let got = final_values (run_exn ?recovery machine g b) in
             let scale = Float.max 1e-6 (Ml.Linalg.max_abs reference) in
             let err =
               Ml.Linalg.max_abs (Ml.Linalg.sub got reference) /. scale
@@ -584,14 +604,17 @@ let linreg =
             Ml.Linreg.of_statistics ~mean_u ~mean_v ~mean_u2 ~mean_uv
         | _ -> invalid_arg "linreg: expected four statistics"
       in
-      let evaluate ?(seed = 42) ?(profile = Bank.Silicon) ~swings () =
+      let evaluate ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery
+          ?banks ~swings () =
         let g = apply_swings graph swings in
-        let machine =
-          silicon_machine ~profile ~banks:(Runtime.required_banks g) ~seed ()
+        let banks =
+          match banks with Some b -> b | None -> Runtime.required_banks g
         in
+        let machine = silicon_machine ~profile ~banks ~seed () in
+        (match prepare with Some f -> f machine | None -> ());
         let b = Runtime.bindings () in
         bind b;
-        let fit = fit_of_run (run_exn machine g b) in
+        let fit = fit_of_run (run_exn ?recovery machine g b) in
         let rel a b = Float.abs (a -. b) /. Float.max 0.05 (Float.abs b) in
         let err =
           Float.max
@@ -855,7 +878,7 @@ let dnn_soa () =
         let at = Graph.task b.graph id in
         match
           Promise_arch.Layout.plan ~vector_len:at.At.vector_len
-            ~rows:at.At.loop_iterations
+            ~rows:at.At.loop_iterations ()
         with
         | Ok plan -> plan.Promise_arch.Layout.tasks
         | Error _ -> 1)

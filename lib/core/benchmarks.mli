@@ -34,12 +34,19 @@ type t = {
   evaluate :
     ?seed:int ->
     ?profile:Promise_arch.Bank.profile ->
+    ?prepare:(Promise_arch.Machine.t -> unit) ->
+    ?recovery:Promise_compiler.Runtime.recovery ->
+    ?banks:int ->
     swings:int list ->
     unit ->
     eval;
       (** run the benchmark's test set ([profile] defaults to
           [Silicon]; pass [Custom _] for the error-source ablation);
-          [swings] has one entry per AbstractTask *)
+          [swings] has one entry per AbstractTask. [prepare] runs on
+          the freshly-created machine before any query — the
+          fault-injection hook; [recovery] enables the runtime's
+          graceful-degradation path; [banks] overrides the machine
+          size (sparing lanes shrinks per-bank capacity). *)
   stats : Promise_compiler.Precision.stats option;
       (** Sakr back-prop statistics (DNNs only) *)
 }

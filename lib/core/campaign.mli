@@ -1,0 +1,60 @@
+(** Fault-injection campaign: fault scenarios × fast benchmarks.
+
+    For every (scenario, benchmark) cell the campaign measures
+    - {e detection}: a BIST run ({!Promise_arch.Selftest}) on a probe
+      machine carrying the injected faults, validated against the
+      injection ground truth;
+    - {e faulted accuracy}: the benchmark with the faults and no
+      countermeasures;
+    - {e recovered accuracy}: the benchmark re-run under the recovery
+      the BIST report implies ({!Promise_compiler.Runtime.recovery_of_report}
+      — lane sparing, bank exclusion, canary retry/fallback).
+
+    The campaign is deterministic (fixed seeds) and prints one table
+    plus summary rates. *)
+
+type scenario = {
+  sname : string;
+  kind : string;  (** fault-kind tag, one per distinct model *)
+  inject : Promise_arch.Machine.t -> unit;
+  expected : (int * (Promise_arch.Selftest.kind -> bool)) list;
+      (** (bank, predicate) pairs the BIST report must satisfy *)
+}
+
+val quick_scenarios : unit -> scenario list
+(** Five scenarios, one per hard-fault kind: stuck lane, dead lanes,
+    dead bank, ADC offset, dead ADC units. *)
+
+val all_scenarios : unit -> scenario list
+(** {!quick_scenarios} plus X-REG transients, swing drift and excess
+    leakage — eight scenarios, eight distinct fault kinds. *)
+
+type cell = {
+  benchmark : string;
+  scenario : string;
+  detected : bool;
+  baseline : float;
+  faulted : float;
+  recovered : float;
+  residual : float;  (** baseline − recovered, clamped at 0 *)
+  recovered_ok : bool;
+}
+
+val residual_budget : float
+(** Accuracy loss a recovered part may keep (0.06). *)
+
+val fast_benchmarks : unit -> Benchmarks.t list
+(** Matched filter, template matching L1, k-NN L1. *)
+
+val run_cells :
+  scenarios:scenario list -> benchmarks:Benchmarks.t list -> cell list
+
+val print_cells : Format.formatter -> cell list -> unit
+
+val summarize : cell list -> float * float * float
+(** (detection rate, recovery rate, mean residual loss). *)
+
+(** [report ?quick ppf] — run the campaign and print the table; [true]
+    when detection and recovery rates are both 100%. [quick] restricts
+    to {!quick_scenarios}. *)
+val report : ?quick:bool -> Format.formatter -> bool

@@ -49,6 +49,7 @@ module Arch = struct
   module Trace = Promise_arch.Trace
   module Scheduler = Promise_arch.Scheduler
   module Faults = Promise_arch.Faults
+  module Selftest = Promise_arch.Selftest
   module Ctrl = Promise_arch.Ctrl
 end
 
@@ -96,9 +97,11 @@ module Ml = struct
   module Metrics = Promise_ml.Metrics
 end
 
+module Error = Promise_core.Error
 module Benchmarks = Benchmarks
 module Report = Report
 module Validation = Validation
+module Campaign = Campaign
 
 (** [compile kernel] — DSL → SSA → PROMISE pass → IR graph. *)
 let compile = Promise_compiler.Pipeline.compile

@@ -492,10 +492,12 @@ let yield_analysis ppf =
     [ (B.matched_filter (), 1); (B.template_l2 (), 2); (B.template_l2 (), 4) ]
 
 let validation ppf = ignore (Validation.report ppf)
+let resilience ppf = ignore (Campaign.report ppf)
 
 let sections =
   [
     ("validation", false, validation);
+    ("resilience", true, resilience);
     ("table1", false, table1);
     ("table3", false, table3);
     ("eq3", false, eq3_table);

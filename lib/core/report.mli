@@ -88,6 +88,11 @@ val dma_overhead : Format.formatter -> unit
     ({!Validation.report}). *)
 val validation : Format.formatter -> unit
 
+(** [resilience ppf] — the fault-injection campaign
+    ({!Campaign.report}): scenario × benchmark detection / recovery
+    table. Slow. *)
+val resilience : Format.formatter -> unit
+
 (** [yield_analysis ppf] — accuracy distribution across
     process-variation corners (noise seeds = dies) at reduced swings:
     the die-to-die view behind Eq. (3)'s 99% confidence margin. Slow. *)

@@ -7,6 +7,9 @@ module Runtime = Promise_compiler.Runtime
 module Pipeline = Promise_compiler.Pipeline
 module Dsl = Promise_ir.Dsl
 module Ml = Promise_ml
+module E = Promise_core.Error
+
+let err_string = E.to_string
 
 type check = { name : string; passed : bool; detail : string }
 type level = { title : string; checks : check list }
@@ -127,10 +130,10 @@ let architecture_level () =
     match
       Result.bind (Pipeline.compile k) (fun g -> Runtime.run ~machine g b)
     with
-    | Error msg -> check "ideal dot kernel" false msg
+    | Error e -> check "ideal dot kernel" false (err_string e)
     | Ok r -> (
         match Runtime.final_output r with
-        | Error msg -> check "ideal dot kernel" false msg
+        | Error e -> check "ideal dot kernel" false (err_string e)
         | Ok o ->
             let reference = Ml.Linalg.mat_vec w x in
             let worst = ref 0.0 in
@@ -166,7 +169,7 @@ let architecture_level () =
     match
       Result.bind (Pipeline.compile k) (fun g -> Runtime.run ~machine g b)
     with
-    | Error msg -> check "ideal argmin kernel" false msg
+    | Error e -> check "ideal argmin kernel" false (err_string e)
     | Ok r -> (
         match Runtime.final_output r with
         | Ok { Runtime.decision = Some (i, _); _ } ->
@@ -233,8 +236,137 @@ let application_level () =
       ];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Resilience level                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let resilience_level () =
+  let module Faults = Arch.Faults in
+  let module Selftest = Arch.Selftest in
+  let ok_exn = function Ok v -> v | Error e -> invalid_arg (err_string e) in
+  (* A deliberately broken 4-bank silicon machine: one distinct fault
+     per bank, then assert the BIST localizes each of them. *)
+  let machine =
+    Arch.Machine.create
+      { Arch.Machine.banks = 4; profile = Arch.Bank.Silicon; noise_seed = Some 7 }
+  in
+  let inject bank f = Arch.Bank.set_faults (Arch.Machine.bank machine bank) f in
+  inject 0 (ok_exn (Faults.with_stuck_lane Faults.none ~lane:3 ~code:64));
+  inject 1 (ok_exn (Faults.with_dead_adc_units Faults.none 8));
+  inject 2 (Faults.with_dead_bank Faults.none);
+  inject 3 (Faults.with_adc_offset Faults.none 0.08);
+  let bist_checks =
+    match Selftest.run machine with
+    | Error e -> [ check "self-test run" false (err_string e) ]
+    | Ok report ->
+        let detail bank =
+          String.concat "; "
+            (List.map Selftest.kind_name
+               (Selftest.findings_for report ~bank))
+        in
+        let has name bank pred =
+          check name
+            (List.exists pred (Selftest.findings_for report ~bank))
+            (Printf.sprintf "bank %d findings: [%s]" bank (detail bank))
+        in
+        [
+          check "self-test covers every bank"
+            (report.Selftest.banks_tested = 4)
+            (Printf.sprintf "%d of 4 banks tested"
+               report.Selftest.banks_tested);
+          has "BIST localizes the stuck lane (bank 0, lane 3)" 0 (function
+            | Selftest.Stuck_lane { lane = 3; code } -> abs (code - 64) <= 2
+            | _ -> false);
+          has "BIST detects the dead ADC bank (bank 1)" 1 (function
+            | Selftest.Dead_adc _ -> true
+            | _ -> false);
+          has "BIST detects the dead bank (bank 2)" 2 (function
+            | Selftest.Dead_bank -> true
+            | _ -> false);
+          has "BIST estimates the ADC offset (bank 3)" 3 (function
+            | Selftest.Adc_offset { offset } ->
+                Float.abs (offset -. 0.08) < 0.04
+            | _ -> false);
+        ]
+  in
+  (* Lane sparing: a dot kernel on a bank with a badly stuck lane,
+     recovered purely by re-planning the layout over healthy lanes (no
+     retry, no fallback). The ideal profile isolates the fault from
+     read noise: the stuck column is the only corruption. *)
+  let sparing_checks =
+    let make_machine () =
+      let m = Arch.Machine.create (Arch.Machine.ideal_config ~banks:1) in
+      Arch.Bank.set_faults (Arch.Machine.bank m 0)
+        (ok_exn (Faults.with_stuck_lane Faults.none ~lane:5 ~code:100));
+      m
+    in
+    let rows = 4 and cols = 40 in
+    let rng = Analog.Rng.create 1003 in
+    let w =
+      Array.init rows (fun _ ->
+          Array.init cols (fun _ -> Analog.Rng.uniform rng ~lo:(-0.8) ~hi:0.8))
+    in
+    let x = Array.init cols (fun _ -> Analog.Rng.uniform rng ~lo:(-0.8) ~hi:0.8) in
+    let k =
+      Dsl.kernel ~name:"v_spare"
+        ~decls:
+          [
+            Dsl.matrix "W" ~rows ~cols;
+            Dsl.vector "x" ~len:cols;
+            Dsl.out_vector "out" ~len:rows;
+          ]
+        [ Dsl.for_store ~iterations:rows ~out:"out" (Dsl.dot "W" "x") ]
+    in
+    let reference = Ml.Linalg.mat_vec w x in
+    let worst_error ?recovery () =
+      let b = Runtime.bindings () in
+      Runtime.bind_matrix b "W" w;
+      Runtime.bind_vector b "x" x;
+      Result.map
+        (fun (o : Runtime.task_output) ->
+          let worst = ref 0.0 in
+          Array.iteri
+            (fun i v ->
+              worst := Float.max !worst (Float.abs (v -. reference.(i))))
+            o.Runtime.values;
+          !worst)
+        (Result.bind
+           (Result.bind (Pipeline.compile k) (fun g ->
+                Runtime.run ~machine:(make_machine ()) ?recovery g b))
+           Runtime.final_output)
+    in
+    let recovery : Runtime.recovery =
+      {
+        Runtime.default_recovery with
+        Runtime.spared_lanes = [ 5 ];
+        max_retries = 0;
+        digital_fallback = false;
+      }
+    in
+    match (worst_error (), worst_error ~recovery ()) with
+    | Error e, _ | _, Error e ->
+        [ check "lane-sparing recovery" false (err_string e) ]
+    | Ok unspared, Ok spared ->
+        [
+          check "stuck lane corrupts the unspared kernel" (unspared > 0.3)
+            (Printf.sprintf "worst error %.4f" unspared);
+          check "lane-sparing recovery (stuck lane, no fallback)"
+            (spared < 0.05)
+            (Printf.sprintf "worst error %.4f (unspared %.4f)" spared unspared);
+        ]
+  in
+  {
+    title = "resilience level (BIST localization + graceful degradation)";
+    checks = bist_checks @ sparing_checks;
+  }
+
 let all_levels () =
-  [ component_level (); architecture_level (); application_level () ]
+  [
+    component_level ();
+    architecture_level ();
+    application_level ();
+    resilience_level ();
+  ]
 
 let report ppf =
   let all_passed = ref true in

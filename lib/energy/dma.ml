@@ -22,7 +22,7 @@ let x_bytes_of_task g id (at : At.t) =
   if (not (At.uses_x at)) || fed_by_edge then 0
   else
     match
-      Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations
+      Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations ()
     with
     | Error _ -> 0
     | Ok plan ->

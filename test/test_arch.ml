@@ -403,14 +403,14 @@ let test_bank_adc_gain_reduces_quantization () =
 let plan_exn = Layout.plan_exn
 
 let test_layout_small_vector () =
-  let p = plan_exn ~vector_len:100 ~rows:10 in
+  let p = plan_exn ~vector_len:100 ~rows:10 () in
   check int "1 bank" 1 p.Layout.banks;
   check int "1 segment" 1 p.Layout.segments;
   check int "100 lanes" 100 p.Layout.lanes_per_bank;
   check int "1 task" 1 p.Layout.tasks
 
 let test_layout_multibank () =
-  let p = plan_exn ~vector_len:512 ~rows:127 in
+  let p = plan_exn ~vector_len:512 ~rows:127 () in
   (* the paper's §3.4 example: 512 pixels over 4 banks *)
   check int "4 banks" 4 p.Layout.banks;
   check int "mb code 2" 2 p.Layout.multi_bank;
@@ -419,31 +419,31 @@ let test_layout_multibank () =
 
 let test_layout_segments () =
   (* 4096 elements: 8 banks x 4 segments x 128 lanes *)
-  let p = plan_exn ~vector_len:4096 ~rows:2 in
+  let p = plan_exn ~vector_len:4096 ~rows:2 () in
   check int "8 banks" 8 p.Layout.banks;
   check int "4 segments" 4 p.Layout.segments;
   check int "x_prd 3" 3 (Layout.x_prd p)
 
 let test_layout_row_chunking () =
-  let p = plan_exn ~vector_len:784 ~rows:512 in
+  let p = plan_exn ~vector_len:784 ~rows:512 () in
   check int "8 banks" 8 p.Layout.banks;
   check int "128 rows per task" 128 p.Layout.rows_per_task;
   check int "4 chunks" 4 p.Layout.tasks;
   check int "last chunk rows" 128 (Layout.chunk_rows p 3)
 
 let test_layout_uneven_chunk () =
-  let p = plan_exn ~vector_len:128 ~rows:130 in
+  let p = plan_exn ~vector_len:128 ~rows:130 () in
   check int "2 tasks" 2 p.Layout.tasks;
   check int "first chunk" 128 (Layout.chunk_rows p 0);
   check int "last chunk" 2 (Layout.chunk_rows p 1)
 
 let test_layout_too_large () =
-  match Layout.plan ~vector_len:((8 * 4 * 128) + 1) ~rows:1 with
+  match Layout.plan ~vector_len:((8 * 4 * 128) + 1) ~rows:1 () with
   | Error _ -> ()
   | Ok _ -> fail "oversized vector must be rejected"
 
 let test_layout_slices_cover_vector () =
-  let p = plan_exn ~vector_len:300 ~rows:1 in
+  let p = plan_exn ~vector_len:300 ~rows:1 () in
   let v = Array.init 300 (fun i -> (i mod 250) - 125) in
   (* every element appears exactly once across (bank, segment, lane) *)
   let seen = Hashtbl.create 512 in
@@ -471,7 +471,7 @@ let qcheck_layout_invariants =
   QCheck.Test.make ~name:"layout plan invariants" ~count:300
     (QCheck.pair (QCheck.int_range 1 4096) (QCheck.int_range 1 1024))
     (fun (vector_len, rows) ->
-      match Layout.plan ~vector_len ~rows with
+      match Layout.plan ~vector_len ~rows () with
       | Error _ -> false
       | Ok p ->
           p.Layout.lanes_per_bank >= 1
@@ -499,7 +499,7 @@ let simple_th ?(op = Opcode.C4_accumulate) ~gain () =
 
 let test_machine_multibank_dot () =
   let m = Machine.create (Machine.ideal_config ~banks:4) in
-  let plan = plan_exn ~vector_len:512 ~rows:1 in
+  let plan = plan_exn ~vector_len:512 ~rows:1 () in
   let w = Array.init 512 (fun i -> if i mod 2 = 0 then 32 else -32) in
   let x = Array.init 512 (fun _ -> 64) in
   Machine.load_weights m ~group:0 ~base:0 ~plan [| w |];
@@ -515,7 +515,7 @@ let test_machine_multibank_dot () =
       dest_xreg = 7;
     }
   in
-  let r = Machine.execute m launch in
+  let r = Machine.execute_exn m launch in
   (* sum w*x = 0 by symmetry *)
   (match r.Machine.emitted with
   | [ v ] -> check (close 0.05) "zero dot" 0.0 v
@@ -524,7 +524,7 @@ let test_machine_multibank_dot () =
 
 let test_machine_trace_accumulates () =
   let m = Machine.create (Machine.ideal_config ~banks:1) in
-  let plan = plan_exn ~vector_len:16 ~rows:4 in
+  let plan = plan_exn ~vector_len:16 ~rows:4 () in
   let w =
     Array.init 4 (fun r -> Array.init 16 (fun c -> ((r + c) mod 100) - 50))
   in
@@ -541,7 +541,7 @@ let test_machine_trace_accumulates () =
       dest_xreg = 7;
     }
   in
-  let r = Machine.execute m launch in
+  let r = Machine.execute_exn m launch in
   check int "4 emissions" 4 (List.length r.Machine.emitted);
   check int "adc conversions" 4 r.Machine.record.Trace.adc_conversions;
   check int "trace cycles" (Timing.task_cycles task)
@@ -551,7 +551,7 @@ let test_machine_trace_accumulates () =
 
 let test_machine_argmin_decision () =
   let m = Machine.create (Machine.ideal_config ~banks:1) in
-  let plan = plan_exn ~vector_len:8 ~rows:3 in
+  let plan = plan_exn ~vector_len:8 ~rows:3 () in
   (* candidate 1 matches x exactly *)
   let x = Array.init 8 (fun i -> (i * 10) - 40) in
   let far = Array.map (fun c -> -c) x in
@@ -569,7 +569,7 @@ let test_machine_argmin_decision () =
       dest_xreg = 7;
     }
   in
-  let r = Machine.execute m launch in
+  let r = Machine.execute_exn m launch in
   match r.Machine.argext with
   | Some (i, _) -> check int "argmin is the exact match" 1 i
   | None -> fail "decision expected"
@@ -588,8 +588,8 @@ let test_machine_group_bounds () =
     }
   in
   match Machine.execute m launch with
-  | exception Invalid_argument _ -> ()
-  | _ -> fail "4-bank task on a 2-bank machine must be rejected"
+  | Error e -> check bool "capacity error" true (e.Promise_core.Error.code = Promise_core.Error.Capacity)
+  | Ok _ -> fail "4-bank task on a 2-bank machine must be rejected"
 
 let test_machine_determinism () =
   let run () =
@@ -597,7 +597,7 @@ let test_machine_determinism () =
       Machine.create
         { Machine.banks = 1; profile = Bank.Silicon; noise_seed = Some 9 }
     in
-    let plan = plan_exn ~vector_len:32 ~rows:1 in
+    let plan = plan_exn ~vector_len:32 ~rows:1 () in
     let w = Array.init 32 (fun i -> (i * 3) - 48) in
     Machine.load_weights m ~group:0 ~base:0 ~plan [| w |];
     Machine.load_x m ~group:0 ~xreg_base:0 ~plan (Array.make 32 50);
@@ -611,7 +611,7 @@ let test_machine_determinism () =
         dest_xreg = 7;
       }
     in
-    (Machine.execute m launch).Machine.emitted
+    (Machine.execute_exn m launch).Machine.emitted
   in
   check bool "same seed, same result" true (run () = run ())
 
@@ -715,7 +715,7 @@ let test_machine_writeback_path () =
      following Class-1 write Task stores them, and a digital read gets
      them back (the full Fig. 5(b) destination loop). *)
   let m = Machine.create (Machine.ideal_config ~banks:1) in
-  let plan = plan_exn ~vector_len:4 ~rows:3 in
+  let plan = plan_exn ~vector_len:4 ~rows:3 () in
   let w =
     [| [| 32; 32; 32; 32 |]; [| 64; 64; 64; 64 |]; [| 96; 96; 96; 96 |] |]
   in
@@ -739,7 +739,7 @@ let test_machine_writeback_path () =
       dest_xreg = 7;
     }
   in
-  let r = Machine.execute m compute in
+  let r = Machine.execute_exn m compute in
   check int "three codes staged" 3 (List.length r.Machine.write_buffer);
   let write_task =
     Task.make
@@ -751,7 +751,7 @@ let test_machine_writeback_path () =
   let wlaunch =
     { compute with Machine.task = write_task }
   in
-  ignore (Machine.execute m wlaunch);
+  ignore (Machine.execute_exn m wlaunch);
   let stored = Bitcell_array.read (Bank.array (Machine.bank m 0)) ~word_row:50 in
   List.iteri
     (fun i code -> check int "stored = staged" code stored.(i))
@@ -774,7 +774,7 @@ let test_machine_raw_program_run () =
     | Error msg -> fail msg
   in
   let m = Machine.create (Machine.ideal_config ~banks:1) in
-  let plan = plan_exn ~vector_len:128 ~rows:3 in
+  let plan = plan_exn ~vector_len:128 ~rows:3 () in
   let x = Array.init 128 (fun i -> (i mod 100) - 50) in
   let rows =
     [| Array.map (fun c -> -c) x; Array.copy x; Array.map (fun c -> min 127 (c + 30)) x |]
@@ -782,22 +782,23 @@ let test_machine_raw_program_run () =
   Machine.load_weights m ~group:0 ~base:0 ~plan rows;
   Machine.load_x m ~group:0 ~xreg_base:0 ~plan x;
   (match Machine.run_program m program with
-  | [ r ] -> (
+  | Ok [ r ] -> (
       match r.Machine.argext with
       | Some (i, _) -> check int "raw argmin finds the match" 1 i
       | None -> fail "decision expected")
-  | _ -> fail "one result expected")
+  | Ok _ -> fail "one result expected"
+  | Error e -> fail (Promise_core.Error.to_string e))
 
 let test_layout_capacity_boundaries () =
   (* exactly 8 banks x 128 lanes fits in one segment *)
-  let p = plan_exn ~vector_len:1024 ~rows:1 in
+  let p = plan_exn ~vector_len:1024 ~rows:1 () in
   check int "1024 fits one segment" 1 p.Layout.segments;
   check int "8 banks" 8 p.Layout.banks;
   (* one more element forces a second segment *)
-  let p = plan_exn ~vector_len:1025 ~rows:1 in
+  let p = plan_exn ~vector_len:1025 ~rows:1 () in
   check int "1025 needs two segments" 2 p.Layout.segments;
   (* the absolute maximum *)
-  let p = plan_exn ~vector_len:4096 ~rows:1 in
+  let p = plan_exn ~vector_len:4096 ~rows:1 () in
   check int "4096 = 4 segments" 4 p.Layout.segments
 
 let test_default_launch_threshold_mapping () =
@@ -816,7 +817,7 @@ let test_default_launch_threshold_mapping () =
 
 let test_trace_csv () =
   let m = Machine.create (Machine.ideal_config ~banks:1) in
-  let plan = plan_exn ~vector_len:8 ~rows:2 in
+  let plan = plan_exn ~vector_len:8 ~rows:2 () in
   Machine.load_weights m ~group:0 ~base:0 ~plan
     [| Array.make 8 10; Array.make 8 20 |];
   Machine.load_x m ~group:0 ~xreg_base:0 ~plan (Array.make 8 30);

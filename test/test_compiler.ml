@@ -14,7 +14,12 @@ let bool = Alcotest.bool
 let int = Alcotest.int
 let close eps = Alcotest.float eps
 
-let ok_or_fail = function Ok v -> v | Error msg -> fail msg
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> fail (Promise.Error.to_string e)
+
+(* for the layers whose errors are still plain strings *)
+let ok_or_fail_s = function Ok v -> v | Error msg -> fail msg
 
 (* ------------------------------------------------------------------ *)
 (* Lowering                                                            *)
@@ -73,7 +78,7 @@ let test_threshold_code () =
 
 let test_lower_chunk_fields () =
   let a = at ~vector_len:512 ~loop_iterations:100 ~swing:3 () in
-  let plan = Arch.Layout.plan_exn ~vector_len:512 ~rows:100 in
+  let plan = Arch.Layout.plan_exn ~vector_len:512 ~rows:100 () in
   let task = ok_or_fail (Lower.lower_chunk a ~plan ~chunk:0 ~w_base:0 ~xreg_base:0) in
   check int "multi_bank" 2 task.Task.multi_bank;
   check int "rpt covers rows x segments" (100 - 1) task.Task.rpt_num;
@@ -82,7 +87,7 @@ let test_lower_chunk_fields () =
 
 let test_lower_segments () =
   let a = at ~vector_len:4096 ~loop_iterations:2 () in
-  let plan = Arch.Layout.plan_exn ~vector_len:4096 ~rows:2 in
+  let plan = Arch.Layout.plan_exn ~vector_len:4096 ~rows:2 () in
   let task = ok_or_fail (Lower.lower_chunk a ~plan ~chunk:0 ~w_base:0 ~xreg_base:0) in
   check int "x_prd = 3" 3 task.Task.op_param.Op_param.x_prd;
   check int "acc groups segments" 3 task.Task.op_param.Op_param.acc_num;
@@ -90,7 +95,7 @@ let test_lower_segments () =
 
 let test_lower_chunked_program () =
   let a = at ~vector_len:784 ~loop_iterations:512 () in
-  let plan = Arch.Layout.plan_exn ~vector_len:784 ~rows:512 in
+  let plan = Arch.Layout.plan_exn ~vector_len:784 ~rows:512 () in
   let tasks = ok_or_fail (Lower.lower a ~plan) in
   check int "four chunks" 4 (List.length tasks);
   List.iter
@@ -102,7 +107,7 @@ let test_destination_routing () =
     ok_or_fail
       (Lower.lower_chunk
          (at ~digital_op:Abstract_task.Do_sigmoid ())
-         ~plan:(Arch.Layout.plan_exn ~vector_len:128 ~rows:16)
+         ~plan:(Arch.Layout.plan_exn ~vector_len:128 ~rows:16 ())
          ~chunk:0 ~w_base:0 ~xreg_base:0)
   in
   check bool "activations go to X-REG" true
@@ -113,7 +118,7 @@ let test_destination_routing () =
       (Lower.lower_chunk
          (at ~vec_op:Abstract_task.Vo_sub ~red_op:Abstract_task.Ro_sum_abs
             ~digital_op:Abstract_task.Do_min ())
-         ~plan:(Arch.Layout.plan_exn ~vector_len:128 ~rows:16)
+         ~plan:(Arch.Layout.plan_exn ~vector_len:128 ~rows:16 ())
          ~chunk:0 ~w_base:0 ~xreg_base:0)
   in
   check bool "decisions go to the output buffer" true
@@ -122,7 +127,7 @@ let test_destination_routing () =
 
 let test_program_of_graph () =
   let g =
-    ok_or_fail
+    ok_or_fail_s
       (Graph.of_tasks
          [
            at ~loop_iterations:8 ();
@@ -155,7 +160,7 @@ let test_bound_decreases_with_bits () =
 
 let test_min_activation_bits () =
   let s = { Precision.ea = 1.0; ew = 0.001 } in
-  let ba = ok_or_fail (Precision.min_activation_bits s ~pm:0.01 ~bw:7) in
+  let ba = ok_or_fail_s (Precision.min_activation_bits s ~pm:0.01 ~bw:7) in
   (* need da^2 <= ~0.01 -> da <= 0.1 -> ba >= 1 + log2(10) ~ 4.4 *)
   check int "ba" 5 ba;
   check bool "bound satisfied" true (Precision.bound s ~ba ~bw:7 <= 0.01);
@@ -213,7 +218,7 @@ let test_optimize_graph_assigns_per_layer_swings () =
       ~vector_len:n ~loop_iterations:rows ()
   in
   let g =
-    ok_or_fail
+    ok_or_fail_s
       (Graph.of_tasks
          [
            layer ~w:"W0" ~x:"x" ~out:"h0" ~n:784 ~rows:512;
@@ -223,7 +228,7 @@ let test_optimize_graph_assigns_per_layer_swings () =
          ])
   in
   let stats = { Precision.ea = 2.0; ew = 0.01 } in
-  let g', bits = ok_or_fail (Swing_opt.optimize_graph g ~stats ~pm:0.01) in
+  let g', bits = ok_or_fail_s (Swing_opt.optimize_graph g ~stats ~pm:0.01) in
   check bool "bits reasonable" true (bits >= 3 && bits <= 9);
   let swings =
     List.map (fun id -> (Graph.task g' id).Abstract_task.swing)
@@ -493,7 +498,7 @@ let test_runtime_unbound_arrays_error () =
 let test_runtime_adc_gain_estimation () =
   (* small-magnitude data picks a large power-of-two gain *)
   let a = at ~vector_len:4 ~loop_iterations:1 () in
-  let plan = Arch.Layout.plan_exn ~vector_len:4 ~rows:1 in
+  let plan = Arch.Layout.plan_exn ~vector_len:4 ~rows:1 () in
   let g =
     Runtime.For_tests.estimate_adc_gain a plan
       ~w_codes:[| [| 2; -2; 2; -2 |] |]
@@ -743,7 +748,7 @@ let chunk_task ~multi_bank ~rpt_num =
 let test_allocator_parallel_level () =
   (* four 8-bank chunks fit a 36-bank machine in one wave *)
   let tasks = List.init 4 (fun _ -> (chunk_task ~multi_bank:3 ~rpt_num:127, 0)) in
-  let p = ok_or_fail (Allocator.plan ~total_banks:36 tasks) in
+  let p = ok_or_fail_s (Allocator.plan ~total_banks:36 tasks) in
   check int "peak banks" 32 p.Allocator.banks_used;
   (* all start together; makespan = one chunk's steady time *)
   check int "makespan" (128 * 14) p.Allocator.makespan;
@@ -752,7 +757,7 @@ let test_allocator_parallel_level () =
 let test_allocator_waves_when_full () =
   (* four 8-bank chunks on a 16-bank machine: two waves *)
   let tasks = List.init 4 (fun _ -> (chunk_task ~multi_bank:3 ~rpt_num:127, 0)) in
-  let p = ok_or_fail (Allocator.plan ~total_banks:16 tasks) in
+  let p = ok_or_fail_s (Allocator.plan ~total_banks:16 tasks) in
   check int "peak banks" 16 p.Allocator.banks_used;
   check int "two waves" (2 * 128 * 14) p.Allocator.makespan
 
@@ -764,7 +769,7 @@ let test_allocator_levels_sequence () =
       (chunk_task ~multi_bank:0 ~rpt_num:9, 1);
     ]
   in
-  let p = ok_or_fail (Allocator.plan ~total_banks:8 tasks) in
+  let p = ok_or_fail_s (Allocator.plan ~total_banks:8 tasks) in
   check int "makespan sums levels" ((128 * 14) + (10 * 14)) p.Allocator.makespan;
   check int "interval = level 0" (128 * 14) p.Allocator.pipelined_interval
 

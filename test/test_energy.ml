@@ -113,7 +113,7 @@ let test_trace_energy_matches_analytic () =
   (* run a task on the machine and compare the trace-based energy with
      the analytic per-task energy *)
   let m = Arch.Machine.create (Arch.Machine.ideal_config ~banks:1) in
-  let plan = Arch.Layout.plan_exn ~vector_len:16 ~rows:8 in
+  let plan = Arch.Layout.plan_exn ~vector_len:16 ~rows:8 () in
   let w = Array.init 8 (fun r -> Array.init 16 (fun c -> ((r * c) mod 80) - 40)) in
   Arch.Machine.load_weights m ~group:0 ~base:0 ~plan w;
   Arch.Machine.load_x m ~group:0 ~xreg_base:0 ~plan (Array.make 16 32);

@@ -99,9 +99,13 @@ let qcheck_scheduler_closed_form =
 (* Faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let fok = function
+  | Ok f -> f
+  | Error e -> fail (Promise_core.Error.to_string e)
+
 let test_faults_construction () =
   let f =
-    Arch.Faults.(with_adc_offset (with_stuck_lane none ~lane:3 ~code:127) 0.05)
+    Arch.Faults.(with_adc_offset (fok (with_stuck_lane none ~lane:3 ~code:127)) 0.05)
   in
   check bool "not none" false (Arch.Faults.is_none f);
   check (close 1e-9) "offset" 0.05 (Arch.Faults.adc_offset f);
@@ -109,23 +113,27 @@ let test_faults_construction () =
   check bool "none is none" true (Arch.Faults.is_none Arch.Faults.none)
 
 let test_faults_stuck_overrides () =
-  let f = Arch.Faults.(with_stuck_lane none ~lane:1 ~code:64) in
+  let f = fok Arch.Faults.(with_stuck_lane none ~lane:1 ~code:64) in
   let v = Arch.Faults.apply_stuck f [| 0.1; 0.2; 0.3 |] in
   check (close 1e-9) "lane 1 stuck at 0.5" 0.5 v.(1);
   check (close 1e-9) "lane 0 untouched" 0.1 v.(0)
 
 let test_faults_bad_inputs () =
   (match Arch.Faults.(with_stuck_lane none ~lane:128 ~code:0) with
-  | exception Invalid_argument _ -> ()
-  | _ -> fail "lane 128 must be rejected");
+  | Error e ->
+      check bool "typed rejection" true
+        (e.Promise_core.Error.code = Promise_core.Error.Invalid_operand)
+  | Ok _ -> fail "lane 128 must be rejected");
   match Arch.Faults.(with_stuck_lane none ~lane:0 ~code:300) with
-  | exception Invalid_argument _ -> ()
-  | _ -> fail "code 300 must be rejected"
+  | Error e ->
+      check bool "typed rejection" true
+        (e.Promise_core.Error.code = Promise_core.Error.Invalid_operand)
+  | Ok _ -> fail "code 300 must be rejected"
 
 let fault_free_and_faulty ~faults =
   let machine = Arch.Machine.create (Arch.Machine.ideal_config ~banks:1) in
   Arch.Bank.set_faults (Arch.Machine.bank machine 0) faults;
-  let plan = Arch.Layout.plan_exn ~vector_len:8 ~rows:1 in
+  let plan = Arch.Layout.plan_exn ~vector_len:8 ~rows:1 () in
   Arch.Machine.load_weights machine ~group:0 ~base:0 ~plan
     [| [| 64; 64; 64; 64; 64; 64; 64; 64 |] |];
   Arch.Machine.load_x machine ~group:0 ~xreg_base:0 ~plan (Array.make 8 64);
@@ -146,7 +154,7 @@ let fault_free_and_faulty ~faults =
       dest_xreg = 7;
     }
   in
-  match (Arch.Machine.execute machine launch).Arch.Machine.emitted with
+  match (Arch.Machine.execute_exn machine launch).Arch.Machine.emitted with
   | [ v ] -> v
   | _ -> fail "one value expected"
 
@@ -154,7 +162,7 @@ let test_fault_injection_stuck_lane () =
   let healthy = fault_free_and_faulty ~faults:Arch.Faults.none in
   let faulty =
     fault_free_and_faulty
-      ~faults:Arch.Faults.(with_stuck_lane none ~lane:0 ~code:(-128))
+      ~faults:(fok Arch.Faults.(with_stuck_lane none ~lane:0 ~code:(-128)))
   in
   (* one of eight 0.25 products replaced by -0.5 *. 0.5 *)
   check (close 0.02) "healthy sum" 2.0 healthy;
@@ -183,7 +191,7 @@ let test_fault_injection_degrades_template_benchmark () =
     let bank = Arch.Machine.bank machine i in
     let f = ref Arch.Faults.none in
     for lane = 0 to 40 do
-      f := Arch.Faults.with_stuck_lane !f ~lane ~code:127
+      f := fok (Arch.Faults.with_stuck_lane !f ~lane ~code:127)
     done;
     Arch.Bank.set_faults bank !f
   done;
@@ -203,7 +211,7 @@ let test_fault_injection_degrades_template_benchmark () =
       match P.Compiler.Runtime.final_output r with
       | Ok { P.Compiler.Runtime.decision = Some _; _ } -> ()
       | _ -> fail "decision expected even under faults")
-  | Error msg -> fail msg
+  | Error e -> fail (Promise_core.Error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* ISA extensions (§3.3)                                               *)
