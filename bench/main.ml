@@ -120,28 +120,90 @@ let run_micro () =
     micro_tests
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-execution macro-benchmark                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the same campaign workload at jobs=1 and jobs=N and proves the
+   outputs identical. The campaign is not memoized, so both timed runs
+   do the full simulation; a warmup run populates the compiled-task
+   cache first so neither timed run pays compilation. *)
+let run_parallel_bench ~jobs =
+  let scenarios = P.Campaign.quick_scenarios () in
+  let benchmarks = [ P.Benchmarks.matched_filter () ] in
+  let run ~jobs =
+    P.Pool.with_pool ~jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let cells = P.Campaign.run_cells ~pool ~scenarios ~benchmarks () in
+        (cells, Unix.gettimeofday () -. t0))
+  in
+  ignore (run ~jobs:1);
+  let cells1, t1 = run ~jobs:1 in
+  let cells_n, tn = run ~jobs in
+  let identical = cells1 = cells_n in
+  let speedup = t1 /. tn in
+  let cores = Domain.recommended_domain_count () in
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"fault campaign, %d quick scenarios x matched filter \
+     (%d cells)\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"baseline\": { \"jobs\": 1, \"seconds\": %.3f },\n\
+    \  \"parallel\": { \"jobs\": %d, \"seconds\": %.3f },\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"identical_output\": %b\n\
+     }\n"
+    (List.length scenarios) (List.length cells1) cores t1 jobs tn speedup
+    identical;
+  close_out oc;
+  Format.fprintf ppf
+    "parallel bench: jobs=1 %.3fs, jobs=%d %.3fs, speedup %.2fx, \
+     identical_output=%b (host cores %d) -> BENCH_parallel.json@."
+    t1 jobs tn speedup identical cores;
+  if not identical then (
+    Format.fprintf ppf "FAIL: parallel output differs from sequential@.";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  Format.fprintf ppf
-    "PROMISE reproduction harness - every table and figure of the \
-     evaluation@.";
-  (match args with
-  | [] -> P.Report.all ppf
-  | [ "--quick" ] -> P.Report.quick ppf
-  | names ->
-      List.iter
-        (fun name ->
-          match
-            List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
-          with
-          | Some (_, _, f) -> f ppf
-          | None ->
-              Format.fprintf ppf "unknown section %S; available: %s@." name
-                (String.concat ", "
-                   (List.map (fun (n, _, _) -> n) P.Report.sections)))
-        names);
-  run_micro ();
-  Format.fprintf ppf "@.done.@."
+  let rec parse jobs quick par names = function
+    | [] -> (jobs, quick, par, List.rev names)
+    | "--quick" :: rest -> parse jobs true par names rest
+    | "--parallel" :: rest -> parse jobs quick true names rest
+    | "--jobs" :: n :: rest -> parse (Some (int_of_string n)) quick par names rest
+    | s :: rest -> parse jobs quick par (s :: names) rest
+  in
+  let jobs, quick, parallel, names = parse None false false [] args in
+  if parallel then run_parallel_bench ~jobs:(Option.value jobs ~default:4)
+  else begin
+    let jobs = Option.value jobs ~default:1 in
+    Format.fprintf ppf
+      "PROMISE reproduction harness - every table and figure of the \
+       evaluation@.";
+    P.Pool.with_pool ~jobs (fun pool ->
+        match names with
+        | [] -> if quick then P.Report.quick ~pool ppf else P.Report.all ~pool ppf
+        | names ->
+            let fns =
+              List.filter_map
+                (fun name ->
+                  match
+                    List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
+                  with
+                  | Some (_, _, f) -> Some f
+                  | None ->
+                      Format.fprintf ppf
+                        "unknown section %S; available: %s@." name
+                        (String.concat ", "
+                           (List.map (fun (n, _, _) -> n) P.Report.sections));
+                      None)
+                names
+            in
+            P.Report.print_sections ~pool ppf fns);
+    run_micro ();
+    Format.fprintf ppf "@.done.@."
+  end

@@ -7,15 +7,20 @@
    under the BIST-derived recovery, and prints the detection /
    recovery / residual-accuracy table.
 
-   Usage: promise_faultsim [--quick] *)
+   Usage: promise_faultsim [--quick] [--jobs N] *)
 
 module P = Promise
 open Cmdliner
 
-let run quick =
-  let ppf = Format.std_formatter in
-  let ok = P.Campaign.report ~quick ppf in
-  if ok then `Ok () else `Error (false, "campaign detected unrecovered faults")
+let run quick jobs =
+  if jobs < 1 || jobs > 64 then `Error (false, "--jobs must be in 1..64")
+  else
+    let ppf = Format.std_formatter in
+    let ok =
+      P.Pool.with_pool ~jobs (fun pool -> P.Campaign.report ~quick ~pool ppf)
+    in
+    if ok then `Ok ()
+    else `Error (false, "campaign detected unrecovered faults")
 
 let quick_arg =
   Arg.(
@@ -25,9 +30,17 @@ let quick_arg =
           "Run the five hard-fault scenarios only (skip transients, drift \
            and leakage).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the campaign cells out across $(docv) domains. The table is \
+           bit-identical at any job count.")
+
 let () =
   let info =
     Cmd.info "promise-faultsim" ~version:P.version
       ~doc:"fault-injection campaign: detection, recovery, residual accuracy"
   in
-  exit (Cmd.eval (Cmd.v info Term.(ret (const run $ quick_arg))))
+  exit (Cmd.eval (Cmd.v info Term.(ret (const run $ quick_arg $ jobs_arg))))

@@ -1,34 +1,52 @@
 (* promise-report: regenerate the paper's tables and figures as text
    (the same sections the bench harness prints).
 
-   Usage: promise_report [--quick] [SECTION ...] *)
+   Usage: promise_report [--quick] [--jobs N] [SECTION ...] *)
 
 module P = Promise
 open Cmdliner
 
-let run quick sections =
-  let ppf = Format.std_formatter in
-  (match (quick, sections) with
-  | true, _ -> P.Report.quick ppf
-  | false, [] -> P.Report.all ppf
-  | false, names ->
-      List.iter
-        (fun name ->
-          match
-            List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
-          with
-          | Some (_, _, f) -> f ppf
-          | None ->
-              Format.fprintf ppf "unknown section %S; available: %s@." name
-                (String.concat ", "
-                   (List.map (fun (n, _, _) -> n) P.Report.sections)))
-        names);
-  `Ok ()
+let run quick jobs sections =
+  if jobs < 1 || jobs > 64 then
+    `Error (false, "--jobs must be in 1..64")
+  else begin
+    let ppf = Format.std_formatter in
+    P.Pool.with_pool ~jobs (fun pool ->
+        match (quick, sections) with
+        | true, _ -> P.Report.quick ~pool ppf
+        | false, [] -> P.Report.all ~pool ppf
+        | false, names ->
+            let fns =
+              List.filter_map
+                (fun name ->
+                  match
+                    List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
+                  with
+                  | Some (_, _, f) -> Some f
+                  | None ->
+                      Format.fprintf ppf
+                        "unknown section %S; available: %s@." name
+                        (String.concat ", "
+                           (List.map (fun (n, _, _) -> n) P.Report.sections));
+                      None)
+                names
+            in
+            P.Report.print_sections ~pool ppf fns);
+    `Ok ()
+  end
 
 let quick_arg =
   Arg.(
     value & flag
     & info [ "quick" ] ~doc:"Skip the slow sections (fig12, table2, soa_dnn).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Render sections and fan simulations out across $(docv) domains. \
+           Output is bit-identical at any job count.")
 
 let sections_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"SECTION"
@@ -40,4 +58,6 @@ let () =
       ~doc:"regenerate the paper's evaluation tables and figures"
   in
   exit
-    (Cmd.eval (Cmd.v info Term.(ret (const run $ quick_arg $ sections_arg))))
+    (Cmd.eval
+       (Cmd.v info
+          Term.(ret (const run $ quick_arg $ jobs_arg $ sections_arg))))

@@ -1,7 +1,7 @@
 (* promise-run: run one of the Table-2 benchmarks end to end and report
    accuracy, energy and throughput against the CONV baselines.
 
-   Usage: promise_run BENCHMARK [--swing N] [--pm P] [--optimize] *)
+   Usage: promise_run BENCHMARK [--swing N] [--pm P] [--optimize] [--jobs N] *)
 
 module P = Promise
 module B = P.Benchmarks
@@ -23,21 +23,23 @@ let benchmarks =
     ("dnn-3", fun () -> B.dnn B.D3);
   ]
 
-let run name swing pm optimize =
+let run name swing pm optimize jobs =
   match List.assoc_opt name benchmarks with
   | None ->
       `Error
         ( false,
           Printf.sprintf "unknown benchmark %S; try one of: %s" name
             (String.concat ", " (List.map fst benchmarks)) )
+  | Some _ when jobs < 1 || jobs > 64 -> `Error (false, "--jobs must be in 1..64")
   | Some build ->
+      P.Pool.with_pool ~jobs @@ fun pool ->
       let b = build () in
       Printf.printf "benchmark: %s\n" b.B.name;
       Printf.printf "abstract tasks: %d, banks: %d, reference accuracy: %.3f\n"
         b.B.abstract_tasks b.B.banks b.B.reference_accuracy;
       let swings, label =
         if optimize then
-          match B.optimize b ~pm with
+          match B.optimize ~pool b ~pm with
           | Ok (swings, _) ->
               ( swings,
                 Printf.sprintf "optimized at p_m = %.1f%%" (pm *. 100.0) )
@@ -51,7 +53,7 @@ let run name swing pm optimize =
       Printf.printf "swings: (%s) [%s]\n"
         (String.concat "," (List.map string_of_int swings))
         label;
-      let e = b.B.evaluate ~swings () in
+      let e = b.B.evaluate ~pool ~swings () in
       Printf.printf "PROMISE accuracy: %.3f (mismatch %.3f)\n"
         e.B.promise_accuracy e.B.mismatch;
       let energy = Model.total (B.promise_energy b ~swings) in
@@ -88,6 +90,14 @@ let optimize_arg =
     value & flag
     & info [ "optimize" ] ~doc:"Run the compiler swing optimization.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the per-bank simulation and swing search out across $(docv) \
+           domains. Results are bit-identical at any job count.")
+
 let () =
   let info =
     Cmd.info "promise-run" ~version:Promise.version
@@ -96,4 +106,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.v info
-          Term.(ret (const run $ name_arg $ swing_arg $ pm_arg $ optimize_arg))))
+          Term.(
+            ret
+              (const run $ name_arg $ swing_arg $ pm_arg $ optimize_arg
+             $ jobs_arg))))

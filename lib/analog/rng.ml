@@ -23,6 +23,16 @@ let split t =
   let seed = bits64 t in
   { state = seed; cached_gaussian = None }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* ascending loop, not Array.init: each split advances [t], and
+     Array.init's evaluation order is unspecified *)
+  let streams = Array.make n t in
+  for i = 0 to n - 1 do
+    streams.(i) <- split t
+  done;
+  streams
+
 let copy t = { state = t.state; cached_gaussian = t.cached_gaussian }
 
 let int t bound =

@@ -12,6 +12,12 @@ val create : int -> t
 (** [split t] derives an independent generator (and advances [t]). *)
 val split : t -> t
 
+(** [split_n t n] — [n] independent generators, identical to calling
+    [split t] [n] times in ascending order. Used to give each bank of
+    a machine its own stream so parallel bank simulation draws the
+    same noise samples as sequential simulation. *)
+val split_n : t -> int -> t array
+
 (** [copy t] duplicates the current state without advancing it. *)
 val copy : t -> t
 

@@ -1,6 +1,7 @@
 open Promise_isa
 module A = Promise_analog
 module E = Promise_core.Error
+module Pool = Promise_core.Pool
 
 type config = {
   banks : int;
@@ -17,11 +18,15 @@ let create (config : config) =
   if config.banks < 1 || config.banks > 64 then
     invalid_arg "Machine.create: banks must be in [1, 64]";
   let root_rng = A.Rng.create (Option.value config.noise_seed ~default:0) in
-  let make_bank _ =
+  (* one split stream per bank, in ascending bank order: bank [i]'s
+     noise draws depend only on (seed, i), never on how the other
+     banks are stepped — the invariant parallel execution relies on *)
+  let streams = A.Rng.split_n root_rng config.banks in
+  let make_bank i =
     let noise =
       match config.noise_seed with
       | None -> A.Noise.disabled
-      | Some _ -> A.Noise.create ~rng:(A.Rng.split root_rng) ()
+      | Some _ -> A.Noise.create ~rng:streams.(i) ()
     in
     Bank.create ~profile:config.profile ~noise ()
   in
@@ -104,7 +109,16 @@ let excess_adc_stalls task ~avail =
     in
     max 0 (stalls avail - stalls A.Adc.units_per_bank)
 
-let execute ?lane_mask t launch =
+(* A multi-bank task may fan its banks out across a pool only when the
+   emit destination never feeds back into bank state mid-task: X-REG
+   and write-buffer emits are staged into the banks while iterations
+   are still running, so those tasks stay on the sequential path. *)
+let cross_bank_safe launch =
+  match launch.th.Th_unit.des with
+  | Opcode.Des_output_buffer | Opcode.Des_acc -> true
+  | Opcode.Des_xreg | Opcode.Des_write_buffer -> false
+
+let execute ?lane_mask ?(pool = Pool.sequential) t launch =
   let ( let* ) = Result.bind in
   let task = launch.task in
   let* () =
@@ -132,14 +146,41 @@ let execute ?lane_mask t launch =
   let digital = ref [] in
   let adc_conversions = ref 0 in
   let iterations = Task.iterations task in
+  (* Parallel path: each bank runs all of its iterations on one domain
+     (bank-major), which preserves the bank's private RNG draw order
+     exactly as the sequential iteration-major loop would — banks never
+     read each other's state, so the precomputed steps are bit-identical
+     and the sequential replay below reduces them in canonical order. *)
+  let precomputed =
+    if
+      Pool.is_parallel pool && n_banks_used > 1 && iterations > 0
+      && cross_bank_safe launch
+    then
+      Some
+        (Pool.map_array pool
+           (fun b ->
+             let steps = Array.make iterations Bank.Idle in
+             for iteration = 0 to iterations - 1 do
+               steps.(iteration) <-
+                 Bank.run_iteration ?lane_mask b ~task ~iteration
+                   ~active_lanes:launch.active_lanes
+                   ~adc_gain:launch.adc_gain
+             done;
+             steps)
+           banks)
+    else None
+  in
   for iteration = 0 to iterations - 1 do
     let partials = Array.make n_banks_used 0.0 in
     let got_sample = ref false in
     Array.iteri
       (fun bi b ->
         match
-          Bank.run_iteration ?lane_mask b ~task ~iteration
-            ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
+          match precomputed with
+          | Some steps -> steps.(bi).(iteration)
+          | None ->
+              Bank.run_iteration ?lane_mask b ~task ~iteration
+                ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
         with
         | Bank.Sample s ->
             partials.(bi) <- s;
@@ -191,13 +232,14 @@ let execute ?lane_mask t launch =
       record;
     }
 
-let execute_exn ?lane_mask t launch = E.to_invalid_arg (execute ?lane_mask t launch)
+let execute_exn ?lane_mask ?pool t launch =
+  E.to_invalid_arg (execute ?lane_mask ?pool t launch)
 
-let run t launches =
+let run ?pool t launches =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | l :: rest -> (
-        match execute t l with
+        match execute ?pool t l with
         | Ok r -> go (r :: acc) rest
         | Error e -> Error e)
   in
@@ -221,8 +263,8 @@ let default_launch (task : Task.t) =
     dest_xreg = Params.xreg_depth - 1;
   }
 
-let run_program t (program : Program.t) =
-  run t (List.map default_launch program.Program.tasks)
+let run_program ?pool t (program : Program.t) =
+  run ?pool t (List.map default_launch program.Program.tasks)
 
 (* Scatter a dense logical slice onto the physical lanes named by
    [lane_map] (lane sparing); identity when no map. *)

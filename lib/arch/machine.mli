@@ -50,23 +50,38 @@ type result = {
   record : Trace.task_record;
 }
 
-(** [execute ?lane_mask t launch] — run every iteration of the task,
-    combine bank partials over the cross-bank rail, drive TH, route
-    destinations, and append a record to the trace. [lane_mask] (lane
-    sparing, {!Layout.lane_mask_of_map}) restricts charge sharing to the
-    masked physical lanes. [Error] (typed, layer ["machine"]) when the
-    task fails validation, the bank group exceeds the machine, or every
-    ADC unit of the group is dead. *)
+(** [execute ?lane_mask ?pool t launch] — run every iteration of the
+    task, combine bank partials over the cross-bank rail, drive TH,
+    route destinations, and append a record to the trace. [lane_mask]
+    (lane sparing, {!Layout.lane_mask_of_map}) restricts charge sharing
+    to the masked physical lanes. [pool] (default
+    {!Promise_core.Pool.sequential}) fans the banks of a multi-bank
+    group out across domains, bank-major; because every bank draws from
+    its own split RNG stream and X-REG/write-buffer destinations stay
+    on the sequential path, results are bit-identical at any job count.
+    [Error] (typed, layer ["machine"]) when the task fails validation,
+    the bank group exceeds the machine, or every ADC unit of the group
+    is dead. *)
 val execute :
-  ?lane_mask:bool array -> t -> launch -> (result, Promise_core.Error.t) Stdlib.result
+  ?lane_mask:bool array ->
+  ?pool:Promise_core.Pool.t ->
+  t ->
+  launch ->
+  (result, Promise_core.Error.t) Stdlib.result
 
-(** [execute_exn ?lane_mask t launch] — {!execute}, raising
+(** [execute_exn ?lane_mask ?pool t launch] — {!execute}, raising
     [Invalid_argument] with the rendered error (assembler-level paths
     and tests). *)
-val execute_exn : ?lane_mask:bool array -> t -> launch -> result
+val execute_exn :
+  ?lane_mask:bool array -> ?pool:Promise_core.Pool.t -> t -> launch -> result
 
-(** [run t launches] — execute in order; stops at the first error. *)
-val run : t -> launch list -> (result list, Promise_core.Error.t) Stdlib.result
+(** [run ?pool t launches] — execute in order; stops at the first
+    error. *)
+val run :
+  ?pool:Promise_core.Pool.t ->
+  t ->
+  launch list ->
+  (result list, Promise_core.Error.t) Stdlib.result
 
 (** [default_launch task] — a launch with ISA-level defaults for raw
     (assembler-driven) execution: bank group 0, all 128 lanes, unit ADC
@@ -75,11 +90,14 @@ val run : t -> launch list -> (result list, Promise_core.Error.t) Stdlib.result
     from OP_PARAM. *)
 val default_launch : Promise_isa.Task.t -> launch
 
-(** [run_program t program] — execute a raw ISA program with
+(** [run_program ?pool t program] — execute a raw ISA program with
     {!default_launch} semantics (the [promise-asm] path: no compiler
     metadata needed); stops at the first error. *)
 val run_program :
-  t -> Promise_isa.Program.t -> (result list, Promise_core.Error.t) Stdlib.result
+  ?pool:Promise_core.Pool.t ->
+  t ->
+  Promise_isa.Program.t ->
+  (result list, Promise_core.Error.t) Stdlib.result
 
 (** {2 Data staging} *)
 

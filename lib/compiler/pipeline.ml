@@ -2,18 +2,111 @@ module E = Promise_core.Error
 
 let ( let* ) = Result.bind
 
-let compile kernel =
+(* ------------------------------------------------------------------ *)
+(* Content-addressed compilation cache                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  (* Keys are MD5 digests of the marshalled inputs (kernels, graphs and
+     optimization parameters are pure data), so a cache hit means "same
+     compilation problem" regardless of which sweep asked.  Only [Ok]
+     results are stored; errors always recompute.  A single mutex
+     guards both tables — compilation results are coarse enough that
+     contention is irrelevant next to simulation cost. *)
+
+  type stats = { hits : int; misses : int; entries : int }
+
+  let lock = Mutex.create ()
+  let enabled = ref true
+  let hits = ref 0
+  let misses = ref 0
+
+  let frontend_tbl : (string, Promise_ir.Graph.t) Hashtbl.t =
+    Hashtbl.create 64
+
+  let optimize_tbl : (string, Promise_ir.Graph.t * int) Hashtbl.t =
+    Hashtbl.create 64
+
+  let codegen_tbl : (string, Promise_isa.Program.t) Hashtbl.t =
+    Hashtbl.create 64
+
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+  let set_enabled b = Mutex.protect lock (fun () -> enabled := b)
+  let is_enabled () = Mutex.protect lock (fun () -> !enabled)
+
+  let clear () =
+    Mutex.protect lock (fun () ->
+        Hashtbl.reset frontend_tbl;
+        Hashtbl.reset optimize_tbl;
+        Hashtbl.reset codegen_tbl;
+        hits := 0;
+        misses := 0)
+
+  let stats () =
+    Mutex.protect lock (fun () ->
+        {
+          hits = !hits;
+          misses = !misses;
+          entries =
+            Hashtbl.length frontend_tbl
+            + Hashtbl.length optimize_tbl
+            + Hashtbl.length codegen_tbl;
+        })
+
+  (* [memo tbl key f] — serve [Ok] from [tbl], else compute.  The
+     compute runs outside the lock: two domains racing on the same cold
+     key duplicate work once rather than serializing all compilation. *)
+  let memo tbl key f =
+    let cached =
+      Mutex.protect lock (fun () ->
+          if not !enabled then None
+          else
+            match Hashtbl.find_opt tbl key with
+            | Some v ->
+                incr hits;
+                Some v
+            | None ->
+                incr misses;
+                None)
+    in
+    match cached with
+    | Some v -> Ok v
+    | None -> (
+        match f () with
+        | Ok v as ok ->
+            Mutex.protect lock (fun () ->
+                if !enabled && not (Hashtbl.mem tbl key) then
+                  Hashtbl.add tbl key v);
+            ok
+        | Error _ as err -> err)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compile_uncached kernel =
   let ssa = Promise_ir.Dsl.lower kernel in
   Result.map_error
     (E.of_string ~layer:"frontend")
     (Promise_ir.Pattern.match_function ssa)
 
-let optimize ?guard_bits g ~stats ~pm =
-  Result.map_error
-    (E.of_string ~layer:"optimizer")
-    (Swing_opt.optimize_graph ?guard_bits g ~stats ~pm)
+let compile kernel =
+  Cache.memo Cache.frontend_tbl (Cache.digest kernel) (fun () ->
+      compile_uncached kernel)
 
-let codegen = Lower.program_of_graph
+let optimize ?guard_bits g ~stats ~pm =
+  Cache.memo Cache.optimize_tbl
+    (Cache.digest (g, guard_bits, stats, pm))
+    (fun () ->
+      Result.map_error
+        (E.of_string ~layer:"optimizer")
+        (Swing_opt.optimize_graph ?guard_bits g ~stats ~pm))
+
+let codegen g =
+  Cache.memo Cache.codegen_tbl (Cache.digest g) (fun () ->
+      Lower.program_of_graph g)
 
 type report = {
   graph : Promise_ir.Graph.t;
@@ -36,6 +129,6 @@ let compile_to_binary kernel =
         Swing_opt.search_space_size ~tasks:(Promise_ir.Graph.n_tasks graph);
     }
 
-let run ?machine ?recovery kernel bindings =
+let run ?machine ?recovery ?pool kernel bindings =
   let* graph = compile kernel in
-  Runtime.run ?machine ?recovery graph bindings
+  Runtime.run ?machine ?recovery ?pool graph bindings

@@ -2,6 +2,28 @@
     SSA → PROMISE pass (pattern match) → compiler IR → energy
     optimization → ISA code generation → runtime execution. *)
 
+(** Content-addressed compilation cache.
+
+    Every stage below is memoized on an MD5 digest of its marshalled
+    inputs (kernel for the frontend, graph for codegen, graph +
+    precision stats + swing parameters for the optimizer), so repeated
+    compilations in sweeps return the previously computed — immutable —
+    result instead of re-running lowering and swing optimization.
+    Thread-safe; only successful results are cached. *)
+module Cache : sig
+  type stats = { hits : int; misses : int; entries : int }
+
+  val stats : unit -> stats
+  val clear : unit -> unit
+  (** Drop every entry and zero the hit/miss counters. *)
+
+  val set_enabled : bool -> unit
+  (** Default [true]; [set_enabled false] makes every stage recompute
+      (and stops new insertions) until re-enabled. *)
+
+  val is_enabled : unit -> bool
+end
+
 (** [compile kernel] — frontend + PROMISE pass: the IR graph with all
     swings at maximum (0b111). *)
 val compile :
@@ -33,11 +55,14 @@ type report = {
 val compile_to_binary :
   Promise_ir.Dsl.kernel -> (report, Promise_core.Error.t) result
 
-(** [run ?machine ?recovery kernel bindings] — compile and execute;
-    [recovery] enables the runtime's graceful-degradation path. *)
+(** [run ?machine ?recovery ?pool kernel bindings] — compile and
+    execute; [recovery] enables the runtime's graceful-degradation
+    path, [pool] parallelizes multi-bank task execution
+    ({!Promise_arch.Machine.execute}). *)
 val run :
   ?machine:Promise_arch.Machine.t ->
   ?recovery:Runtime.recovery ->
+  ?pool:Promise_core.Pool.t ->
   Promise_ir.Dsl.kernel ->
   Runtime.bindings ->
   (Runtime.run_result, Promise_core.Error.t) result

@@ -347,7 +347,7 @@ let allowed_groups ~excluded ~(plan : Layout.plan) ~groups =
   in
   List.filter ok (List.init max_group (fun g -> g))
 
-let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
+let run_task ?pool machine ~(recovery : recovery option) ~counters (at : At.t)
     ~terminal ~w ~x_opt ~original_n =
   let* () =
     match x_opt with
@@ -378,8 +378,24 @@ let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
          (fun l -> l >= 0 && l < Params.lanes)
          (match recovery with Some r -> r.spared_lanes | None -> []))
   in
-  let lane_map =
-    if spared = [] then None else Some (Layout.spare_map ~faulty:spared)
+  let fallback_enabled =
+    match recovery with Some r -> r.digital_fallback | None -> false
+  in
+  (* When every lane is faulty the spare map is empty and no analog
+     plan exists; with digital fallback enabled the whole task degrades
+     to the host-side digital reference instead of failing. *)
+  let lane_map, no_healthy_lanes =
+    if spared = [] then (None, false)
+    else
+      let map = Layout.spare_map ~faulty:spared in
+      if Array.length map = 0 then (None, true) else (Some map, false)
+  in
+  let* () =
+    if no_healthy_lanes && not fallback_enabled then
+      fail ~code:E.Capacity
+        ~context:[ ("task", at.At.name) ]
+        "every lane is spared and digital fallback is disabled"
+    else Ok ()
   in
   let max_lanes = Option.map Array.length lane_map in
   let excluded =
@@ -401,15 +417,19 @@ let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
         (fun map -> Layout.lane_mask_of_map map ~used:plan.Layout.lanes_per_bank)
         lane_map
     in
-    let* allowed =
+    (* [`Digital]: no analog resource can serve this task (every bank
+       group excluded, or every lane spared) — with fallback enabled,
+       every chunk is served by the host-side digital reference. *)
+    let* mode =
       match allowed_groups ~excluded ~plan ~groups with
+      | [] when fallback_enabled -> Ok `Digital
       | [] ->
           fail ~code:E.Capacity
             ~context:[ ("task", at.At.name) ]
             "every bank group overlaps an excluded bank"
-      | l -> Ok l
+      | _ when no_healthy_lanes -> Ok `Digital
+      | l -> Ok (`Analog l)
     in
-    let n_allowed = List.length allowed in
     let rec go chunk row_offset =
       if chunk >= n_chunks then Ok ()
       else
@@ -427,13 +447,8 @@ let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
                 }
               ~chunk:0 ~w_base:0 ~xreg_base:0
         in
-        let group = List.nth allowed (chunk mod n_allowed) in
         let w_rows = w_rows_of_chunk chunk rows_c in
         let x_chunk = x_of_chunk chunk in
-        Machine.load_weights ?lane_map machine ~group ~base:0 ~plan w_rows;
-        (match x_chunk with
-        | Some xc -> Machine.load_x ?lane_map machine ~group ~xreg_base:0 ~plan xc
-        | None -> ());
         let th =
           {
             Th_unit.op = class4;
@@ -443,60 +458,77 @@ let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
             des = task.Task.op_param.Op_param.des;
           }
         in
-        let launch =
-          {
-            Machine.task;
-            bank_group = group;
-            active_lanes = plan.Layout.lanes_per_bank;
-            adc_gain;
-            th;
-            dest_xreg = dest_xreg_index;
-          }
-        in
-        (* The canary-checked retry/fallback path applies to chunks whose
-           emissions go to the output buffer: re-executing them is
-           side-effect-free (X-REG/write-buffer staging is not). *)
-        let checked =
-          recovery <> None
-          && Opcode.equal_destination task.Task.op_param.Op_param.des
-               Opcode.Des_output_buffer
-        in
         let* outcome =
-          if not checked then
-            let* result = Machine.execute ?lane_mask machine launch in
-            Ok (`Accepted result)
-          else
-            let r = Option.get recovery in
-            let reference, ref_argext =
-              ideal_chunk at ~plan ~th ~w_rows ~x_row:x_chunk
-            in
-            let rec attempt tries =
-              let* result = Machine.execute ?lane_mask machine launch in
-              if
-                canary_ok ~tolerance:r.canary_tolerance
-                  result.Machine.emitted reference
-              then Ok (`Accepted result)
-              else begin
-                counters.c_canary_failures <- counters.c_canary_failures + 1;
-                if tries < r.max_retries then begin
-                  counters.c_retries <- counters.c_retries + 1;
-                  attempt (tries + 1)
-                end
-                else if r.digital_fallback then begin
-                  counters.c_fallbacks <- counters.c_fallbacks + 1;
-                  Ok (`Fallback (reference, ref_argext))
-                end
-                else
-                  fail ~code:E.Retry_exhausted
-                    ~context:
-                      [
-                        ("task", at.At.name); ("chunk", string_of_int chunk);
-                      ]
-                    "analog result failed its canary bound %d times"
-                    (r.max_retries + 1)
-              end
-            in
-            attempt 0
+          match mode with
+          | `Digital ->
+              counters.c_fallbacks <- counters.c_fallbacks + 1;
+              Ok (`Fallback (ideal_chunk at ~plan ~th ~w_rows ~x_row:x_chunk))
+          | `Analog allowed ->
+              let group = List.nth allowed (chunk mod List.length allowed) in
+              Machine.load_weights ?lane_map machine ~group ~base:0 ~plan
+                w_rows;
+              (match x_chunk with
+              | Some xc ->
+                  Machine.load_x ?lane_map machine ~group ~xreg_base:0 ~plan xc
+              | None -> ());
+              let launch =
+                {
+                  Machine.task;
+                  bank_group = group;
+                  active_lanes = plan.Layout.lanes_per_bank;
+                  adc_gain;
+                  th;
+                  dest_xreg = dest_xreg_index;
+                }
+              in
+              (* The canary-checked retry/fallback path applies to chunks
+                 whose emissions go to the output buffer: re-executing
+                 them is side-effect-free (X-REG/write-buffer staging is
+                 not). *)
+              let checked =
+                recovery <> None
+                && Opcode.equal_destination task.Task.op_param.Op_param.des
+                     Opcode.Des_output_buffer
+              in
+              if not checked then
+                let* result = Machine.execute ?lane_mask ?pool machine launch in
+                Ok (`Accepted result)
+              else
+                let r = Option.get recovery in
+                let reference, ref_argext =
+                  ideal_chunk at ~plan ~th ~w_rows ~x_row:x_chunk
+                in
+                let rec attempt tries =
+                  let* result =
+                    Machine.execute ?lane_mask ?pool machine launch
+                  in
+                  if
+                    canary_ok ~tolerance:r.canary_tolerance
+                      result.Machine.emitted reference
+                  then Ok (`Accepted result)
+                  else begin
+                    counters.c_canary_failures <-
+                      counters.c_canary_failures + 1;
+                    if tries < r.max_retries then begin
+                      counters.c_retries <- counters.c_retries + 1;
+                      attempt (tries + 1)
+                    end
+                    else if r.digital_fallback then begin
+                      counters.c_fallbacks <- counters.c_fallbacks + 1;
+                      Ok (`Fallback (reference, ref_argext))
+                    end
+                    else
+                      fail ~code:E.Retry_exhausted
+                        ~context:
+                          [
+                            ("task", at.At.name);
+                            ("chunk", string_of_int chunk);
+                          ]
+                        "analog result failed its canary bound %d times"
+                        (r.max_retries + 1)
+                  end
+                in
+                attempt 0
         in
         (match outcome with
         | `Accepted result ->
@@ -560,7 +592,7 @@ let run_task machine ~(recovery : recovery option) ~counters (at : At.t)
   | At.Do_none | At.Do_sigmoid | At.Do_relu | At.Do_threshold ->
       Ok { values; decision = None }
 
-let run ?machine ?recovery g b =
+let run ?machine ?recovery ?pool g b =
   let machine =
     match machine with
     | Some m -> m
@@ -589,7 +621,7 @@ let run ?machine ?recovery g b =
         in
         let terminal = Graph.successors g id = [] in
         let* out =
-          run_task machine ~recovery ~counters at ~terminal ~w ~x_opt
+          run_task ?pool machine ~recovery ~counters at ~terminal ~w ~x_opt
             ~original_n
         in
         Hashtbl.replace outputs id out;

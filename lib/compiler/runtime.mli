@@ -86,16 +86,23 @@ type run_result = {
     [max_lanes] mirrors the lane-sparing layout cap. *)
 val required_banks : ?max_lanes:int -> Promise_ir.Graph.t -> int
 
-(** [run ?machine ?recovery g b] — execute the graph. When [machine] is
-    omitted, a default [Silicon]-profile machine with {!required_banks}
-    banks (seeded 42) is created. Without [recovery] the runtime
-    behaves exactly as before (no canary, full lane/bank use). Errors
-    are typed ({!Promise_core.Error.t}, layer ["runtime"] or
-    ["compiler"]); unrecoverable canary misses surface as
-    [Retry_exhausted]. *)
+(** [run ?machine ?recovery ?pool g b] — execute the graph. When
+    [machine] is omitted, a default [Silicon]-profile machine with
+    {!required_banks} banks (seeded 42) is created. Without [recovery]
+    the runtime behaves exactly as before (no canary, full lane/bank
+    use). When recovery leaves no analog resource at all — every bank
+    group excluded, or all 128 lanes spared — and [digital_fallback] is
+    on, every chunk is served by the digital reference (counted in
+    [stats.fallbacks]) instead of failing; with fallback off this is a
+    typed [Capacity] error. [pool] fans multi-bank task execution out
+    across domains ({!Promise_arch.Machine.execute}); results are
+    bit-identical at any job count. Errors are typed
+    ({!Promise_core.Error.t}, layer ["runtime"] or ["compiler"]);
+    unrecoverable canary misses surface as [Retry_exhausted]. *)
 val run :
   ?machine:Promise_arch.Machine.t ->
   ?recovery:recovery ->
+  ?pool:Promise_core.Pool.t ->
   Promise_ir.Graph.t ->
   bindings ->
   (run_result, Promise_core.Error.t) result

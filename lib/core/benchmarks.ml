@@ -38,6 +38,7 @@ type t = {
     ?prepare:(Machine.t -> unit) ->
     ?recovery:Runtime.recovery ->
     ?banks:int ->
+    ?pool:Promise_core.Pool.t ->
     swings:int list ->
     unit ->
     eval;
@@ -69,8 +70,8 @@ let apply_swings g swings =
 let silicon_machine ?(profile = Bank.Silicon) ~banks ~seed () =
   Machine.create { Machine.banks; profile; noise_seed = Some seed }
 
-let run_exn ?recovery machine g b =
-  match Runtime.run ~machine ?recovery g b with
+let run_exn ?recovery ?pool machine g b =
+  match Runtime.run ~machine ?recovery ?pool g b with
   | Ok r -> r
   | Error e -> invalid_arg ("benchmark run failed: " ^ err_string e)
 
@@ -81,8 +82,8 @@ let run_exn ?recovery machine g b =
    may need spare banks). *)
 let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
     ~decide ~reference_accuracy =
- fun ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery ?banks ~swings
-     () ->
+ fun ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery ?banks ?pool
+     ~swings () ->
   let g = apply_swings graph swings in
   let banks =
     match banks with Some b -> b | None -> Runtime.required_banks g
@@ -95,7 +96,7 @@ let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
       let b = Runtime.bindings () in
       bind_static b;
       bind_query b q;
-      let r = run_exn ?recovery machine g b in
+      let r = run_exn ?recovery ?pool machine g b in
       if decide r = labels.(i) then incr correct)
     queries;
   let promise_accuracy =
@@ -137,26 +138,33 @@ let requantize_mat ~bits m =
   let k = Float.max 1e-12 (Ml.Linalg.mat_max_abs m) in
   Array.map (Array.map (fun x -> Fx.quantize_to_bits (x /. k) ~bits *. k)) m
 
+(* Builder memoization must be domain-safe now that suites fan out
+   across a pool: the mutex is held while [f] runs, so a benchmark is
+   trained exactly once no matter how many domains ask for it. *)
 let memo f =
+  let lock = Mutex.create () in
   let cache = ref None in
   fun () ->
-    match !cache with
-    | Some v -> v
-    | None ->
-        let v = f () in
-        cache := Some v;
-        v
+    Mutex.protect lock (fun () ->
+        match !cache with
+        | Some v -> v
+        | None ->
+            let v = f () in
+            cache := Some v;
+            v)
 
 (* memoization keyed by a size configuration *)
 let memo_by f =
+  let lock = Mutex.create () in
   let cache = Hashtbl.create 8 in
   fun key ->
-    match Hashtbl.find_opt cache key with
-    | Some v -> v
-    | None ->
-        let v = f key in
-        Hashtbl.add cache key v;
-        v
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some v -> v
+        | None ->
+            let v = f key in
+            Hashtbl.add cache key v;
+            v)
 
 (* ------------------------------------------------------------------ *)
 (* Matched filter: gunshot detection, N = 512                          *)
@@ -508,7 +516,7 @@ let pca =
       (* Accuracy proxy for a non-classifier: 1 − mean relative feature
          error against the float reference. *)
       let feature_fidelity ?(seed = 42) ?(profile = Bank.Silicon) ?prepare
-          ?recovery ?banks ~swings () =
+          ?recovery ?banks ?pool ~swings () =
         let g = apply_swings graph swings in
         let banks =
           match banks with Some b -> b | None -> Runtime.required_banks g
@@ -523,7 +531,7 @@ let pca =
             let b = Runtime.bindings () in
             Runtime.bind_matrix b "W" model.Ml.Pca.components;
             Runtime.bind_vector b "x" centered;
-            let got = final_values (run_exn ?recovery machine g b) in
+            let got = final_values (run_exn ?recovery ?pool machine g b) in
             let scale = Float.max 1e-6 (Ml.Linalg.max_abs reference) in
             let err =
               Ml.Linalg.max_abs (Ml.Linalg.sub got reference) /. scale
@@ -605,7 +613,7 @@ let linreg =
         | _ -> invalid_arg "linreg: expected four statistics"
       in
       let evaluate ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery
-          ?banks ~swings () =
+          ?banks ?pool ~swings () =
         let g = apply_swings graph swings in
         let banks =
           match banks with Some b -> b | None -> Runtime.required_banks g
@@ -614,7 +622,7 @@ let linreg =
         (match prepare with Some f -> f machine | None -> ());
         let b = Runtime.bindings () in
         bind b;
-        let fit = fit_of_run (run_exn ?recovery machine g b) in
+        let fit = fit_of_run (run_exn ?recovery ?pool machine g b) in
         let rel a b = Float.abs (a -. b) /. Float.max 0.05 (Float.abs b) in
         let err =
           Float.max
@@ -816,7 +824,7 @@ let max_swings b = List.init b.abstract_tasks (fun _ -> 7)
 
 let ( let* ) = Result.bind
 
-let optimize b ~pm =
+let optimize ?pool b ~pm =
   match b.stats with
   | Some stats ->
       (* Analytic path (multi-task DNNs). *)
@@ -826,7 +834,7 @@ let optimize b ~pm =
           (fun id -> (Graph.task g id).At.swing)
           (Graph.topological_order g)
       in
-      Ok (swings, b.evaluate ~swings ())
+      Ok (swings, b.evaluate ?pool ~swings ())
   | None ->
       if b.abstract_tasks <> 1 then
         Error
@@ -834,13 +842,15 @@ let optimize b ~pm =
              "%s: brute-force sweep applies to single-task kernels only"
              b.short)
       else
-        let simulate s = (b.evaluate ~swings:[ s ] ()).promise_accuracy in
+        let simulate s = (b.evaluate ?pool ~swings:[ s ] ()).promise_accuracy in
         let energy_at s = Model.total (promise_energy b ~swings:[ s ]) in
         let r =
           Swing_opt.optimize_single ~simulate ~energy_at
             ~reference_accuracy:b.reference_accuracy ~pm
         in
-        Ok ([ r.Swing_opt.chosen ], b.evaluate ~swings:[ r.Swing_opt.chosen ] ())
+        Ok
+          ( [ r.Swing_opt.chosen ],
+            b.evaluate ?pool ~swings:[ r.Swing_opt.chosen ] () )
 
 (* ------------------------------------------------------------------ *)
 (* State-of-the-art comparison configurations (§6.2)                   *)

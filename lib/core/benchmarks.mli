@@ -37,6 +37,7 @@ type t = {
     ?prepare:(Promise_arch.Machine.t -> unit) ->
     ?recovery:Promise_compiler.Runtime.recovery ->
     ?banks:int ->
+    ?pool:Promise_core.Pool.t ->
     swings:int list ->
     unit ->
     eval;
@@ -46,7 +47,9 @@ type t = {
           the freshly-created machine before any query — the
           fault-injection hook; [recovery] enables the runtime's
           graceful-degradation path; [banks] overrides the machine
-          size (sparing lanes shrinks per-bank capacity). *)
+          size (sparing lanes shrinks per-bank capacity); [pool]
+          parallelizes multi-bank task execution (bit-identical at any
+          job count). *)
   stats : Promise_compiler.Precision.stats option;
       (** Sakr back-prop statistics (DNNs only) *)
 }
@@ -113,10 +116,11 @@ val promise_energy : t -> swings:int list -> Model.breakdown
 val promise_cycles : t -> int
 val max_swings : t -> int list
 
-(** [optimize b ~pm] — the compiler energy optimization: analytic
+(** [optimize ?pool b ~pm] — the compiler energy optimization: analytic
     (Sakr + Eq. 3) for DNNs, brute-force sweep otherwise. Returns the
-    per-task swings and the evaluation at those swings. *)
-val optimize : t -> pm:float -> (int list * eval, string) result
+    per-task swings and the evaluation at those swings. [pool] is
+    forwarded to every evaluation. *)
+val optimize : ?pool:Promise_core.Pool.t -> t -> pm:float -> (int list * eval, string) result
 
 (** {2 State-of-the-art comparison workloads (§6.2)} *)
 

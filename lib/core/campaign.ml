@@ -180,17 +180,17 @@ let recovered_banks (b : B.t) (r : Runtime.recovery) =
   let base = Runtime.required_banks ~max_lanes b.B.graph in
   if r.Runtime.excluded_banks = [] then base else 2 * base
 
-let run_cell ~scenario (b : B.t) ~baseline =
+let run_cell ?pool ~scenario (b : B.t) ~baseline =
   let swings = B.max_swings b in
   let faulted =
-    (b.B.evaluate ~prepare:scenario.inject ~swings ()).B.promise_accuracy
+    (b.B.evaluate ~prepare:scenario.inject ?pool ~swings ()).B.promise_accuracy
   in
   let report = probe_report scenario in
   let detected = detected_in report scenario in
   let recovery = Runtime.recovery_of_report report in
   let recovered =
     (b.B.evaluate ~prepare:scenario.inject ~recovery
-       ~banks:(recovered_banks b recovery) ~swings ())
+       ~banks:(recovered_banks b recovery) ?pool ~swings ())
       .B.promise_accuracy
   in
   let residual = Float.max 0.0 (baseline -. recovered) in
@@ -211,14 +211,27 @@ let run_cell ~scenario (b : B.t) ~baseline =
 
 let fast_benchmarks () = [ B.matched_filter (); B.template_l1 (); B.knn_l1 () ]
 
-let run_cells ~scenarios ~benchmarks =
-  List.concat_map
-    (fun (b : B.t) ->
-      let baseline =
-        (b.B.evaluate ~swings:(B.max_swings b) ()).B.promise_accuracy
-      in
-      List.map (fun s -> run_cell ~scenario:s b ~baseline) scenarios)
-    benchmarks
+(* Cells are independent (each evaluation creates its own machines from
+   fixed seeds), so the campaign fans out across the pool: first the
+   per-benchmark baselines, then the full scenario × benchmark grid.
+   Results come back in input order — the table is identical at any
+   job count. *)
+let run_cells ?pool ~scenarios ~benchmarks () =
+  let pool = Option.value pool ~default:Promise_core.Pool.sequential in
+  let baselines =
+    Promise_core.Pool.map_list pool
+      (fun (b : B.t) ->
+        (b.B.evaluate ~swings:(B.max_swings b) ()).B.promise_accuracy)
+      benchmarks
+  in
+  let grid =
+    List.concat_map
+      (fun (b, baseline) -> List.map (fun s -> (b, baseline, s)) scenarios)
+      (List.combine benchmarks baselines)
+  in
+  Promise_core.Pool.map_list pool
+    (fun ((b : B.t), baseline, s) -> run_cell ~scenario:s b ~baseline)
+    grid
 
 let print_cells ppf cells =
   Format.fprintf ppf
@@ -246,14 +259,14 @@ let summarize cells =
   in
   (detection, recovery, mean_residual)
 
-let report ?(quick = false) ppf =
+let report ?(quick = false) ?pool ppf =
   let scenarios = if quick then quick_scenarios () else all_scenarios () in
   let benchmarks = fast_benchmarks () in
   Format.fprintf ppf
     "@.== Fault-injection campaign (%d scenarios x %d benchmarks%s) ==@."
     (List.length scenarios) (List.length benchmarks)
     (if quick then ", quick" else "");
-  let cells = run_cells ~scenarios ~benchmarks in
+  let cells = run_cells ?pool ~scenarios ~benchmarks () in
   print_cells ppf cells;
   let detection, recovery, mean_residual = summarize cells in
   Format.fprintf ppf

@@ -47,14 +47,22 @@ val fast_benchmarks : unit -> Benchmarks.t list
 (** Matched filter, template matching L1, k-NN L1. *)
 
 val run_cells :
-  scenarios:scenario list -> benchmarks:Benchmarks.t list -> cell list
+  ?pool:Promise_core.Pool.t ->
+  scenarios:scenario list ->
+  benchmarks:Benchmarks.t list ->
+  unit ->
+  cell list
+(** Cells are independent and fan out across [pool] (baselines first,
+    then the scenario × benchmark grid); the result list is identical
+    at any job count. *)
 
 val print_cells : Format.formatter -> cell list -> unit
 
 val summarize : cell list -> float * float * float
 (** (detection rate, recovery rate, mean residual loss). *)
 
-(** [report ?quick ppf] — run the campaign and print the table; [true]
-    when detection and recovery rates are both 100%. [quick] restricts
-    to {!quick_scenarios}. *)
-val report : ?quick:bool -> Format.formatter -> bool
+(** [report ?quick ?pool ppf] — run the campaign and print the table;
+    [true] when detection and recovery rates are both 100%. [quick]
+    restricts to {!quick_scenarios}; [pool] fans the cells out across
+    domains. *)
+val report : ?quick:bool -> ?pool:Promise_core.Pool.t -> Format.formatter -> bool

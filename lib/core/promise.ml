@@ -98,6 +98,7 @@ module Ml = struct
 end
 
 module Error = Promise_core.Error
+module Pool = Promise_core.Pool
 module Benchmarks = Benchmarks
 module Report = Report
 module Validation = Validation

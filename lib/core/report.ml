@@ -10,6 +10,7 @@ module Program = Promise_isa.Program
 module Task = Promise_isa.Task
 module At = Promise_ir.Abstract_task
 module Graph = Promise_ir.Graph
+module Pool = Promise_core.Pool
 
 let section ppf title note =
   Format.fprintf ppf "@.== %s ==@." title;
@@ -21,16 +22,6 @@ let hr ppf = Format.fprintf ppf "   %s@." (String.make 72 '-')
 (* Memoized expensive state                                            *)
 (* ------------------------------------------------------------------ *)
 
-let memo f =
-  let cache = ref None in
-  fun () ->
-    match !cache with
-    | Some v -> v
-    | None ->
-        let v = f () in
-        cache := Some v;
-        v
-
 type opt_result = {
   bench : B.t;
   swings : int list;
@@ -39,23 +30,38 @@ type opt_result = {
   opt_energy : float;
 }
 
-let optimizations =
-  memo (fun () ->
-      List.filter_map
-        (fun (b : B.t) ->
-          match B.optimize b ~pm:0.01 with
-          | Ok (swings, eval) ->
-              Some
-                {
-                  bench = b;
-                  swings;
-                  eval;
-                  full_energy =
-                    Model.total (B.promise_energy b ~swings:(B.max_swings b));
-                  opt_energy = Model.total (B.promise_energy b ~swings);
-                }
-          | Error _ -> None)
-        (B.fig12_suite ()))
+(* Memoized on first call; the pool only changes how fast the sweep
+   runs, never its result (the optimization is deterministic), so a
+   later caller with a different pool gets the same cached value. *)
+let optimizations_lock = Mutex.create ()
+let optimizations_cache : opt_result list option ref = ref None
+
+let optimizations ?(pool = Pool.sequential) () =
+  Mutex.protect optimizations_lock (fun () ->
+      match !optimizations_cache with
+      | Some v -> v
+      | None ->
+          let v =
+            List.filter_map Fun.id
+              (Pool.map_list pool
+                 (fun (b : B.t) ->
+                   match B.optimize ~pool b ~pm:0.01 with
+                   | Ok (swings, eval) ->
+                       Some
+                         {
+                           bench = b;
+                           swings;
+                           eval;
+                           full_energy =
+                             Model.total
+                               (B.promise_energy b ~swings:(B.max_swings b));
+                           opt_energy = Model.total (B.promise_energy b ~swings);
+                         }
+                   | Error _ -> None)
+                 (B.fig12_suite ()))
+          in
+          optimizations_cache := Some v;
+          v)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -230,7 +236,7 @@ let fig11 ppf =
 (* Figure 12 / Table 2                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let fig12 ppf =
+let fig12 ?pool ppf =
   section ppf "Figure 12 - compiler energy optimization at p_m = 1%"
     "paper: 4-25% savings, geometric mean 17%; DNN swings e.g. (3,3,4,6)";
   Format.fprintf ppf "   %-16s %12s %-14s %9s %9s %10s@." "benchmark"
@@ -248,7 +254,7 @@ let fig12 ppf =
         ratio
         ((1.0 -. ratio) *. 100.0)
         r.eval.B.mismatch)
-    (optimizations ());
+    (optimizations ?pool ());
   let geo =
     Promise_ml.Metrics.geometric_mean !ratios
   in
@@ -256,13 +262,13 @@ let fig12 ppf =
   Format.fprintf ppf "   geometric-mean saving: %.1f%% (paper: 17%%)@."
     ((1.0 -. geo) *. 100.0)
 
-let table2 ppf =
+let table2 ?pool ppf =
   section ppf "Table 2 - benchmark inventory"
     "dims / tasks / minimum digital precision / optimal swing at p_m = 1%";
   Format.fprintf ppf "   %-16s %8s %8s %6s %8s %8s %-12s@." "benchmark" "N"
     "rows" "#AT" "ref acc" "CONV-OPT" "opt swing";
   hr ppf;
-  let opts = optimizations () in
+  let opts = optimizations ?pool () in
   let opt_for (b : B.t) =
     List.find_opt (fun r -> r.bench.B.short = b.B.short) opts
   in
@@ -459,7 +465,7 @@ let adc_fidelity ppf =
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let yield_analysis ppf =
+let yield_analysis ?(pool = Pool.sequential) ppf =
   section ppf "Yield - accuracy across process-variation corners"
     "each noise seed models a different die; Eq. (3)'s 2.6-sigma margin \
      targets 99% per-aggregate confidence";
@@ -469,8 +475,9 @@ let yield_analysis ppf =
   hr ppf;
   List.iter
     (fun ((b : B.t), swing) ->
+      (* one die (seed) per pool slot; the sort erases completion order *)
       let accs =
-        List.map
+        Pool.map_list pool
           (fun seed ->
             (b.B.evaluate ~seed ~swings:[ swing ] ()).B.promise_accuracy)
           seeds
@@ -492,34 +499,59 @@ let yield_analysis ppf =
     [ (B.matched_filter (), 1); (B.template_l2 (), 2); (B.template_l2 (), 4) ]
 
 let validation ppf = ignore (Validation.report ppf)
-let resilience ppf = ignore (Campaign.report ppf)
+let resilience ?pool ppf = ignore (Campaign.report ?pool ppf)
 
-let sections =
+(* Each section printer takes the pool explicitly so the CLI can thread
+   [--jobs] through named-section selection; pool-oblivious sections
+   just drop it. *)
+let sections : (string * bool * (Pool.t -> Format.formatter -> unit)) list =
+  let p f = fun _pool ppf -> f ppf in
   [
-    ("validation", false, validation);
-    ("resilience", true, resilience);
-    ("table1", false, table1);
-    ("table3", false, table3);
-    ("eq3", false, eq3_table);
-    ("isa", false, isa_demo);
-    ("fig10a", false, fig10a);
-    ("fig10b", false, fig10b);
-    ("fig11", false, fig11);
-    ("fig12", true, fig12);
-    ("table2", true, table2);
-    ("soa_knn", false, soa_knn);
-    ("soa_dnn", true, soa_dnn);
-    ("cm", false, cm_compare);
-    ("ablation", false, ablation_tp);
-    ("extensions", false, ext_ablation);
-    ("adc_fidelity", false, adc_fidelity);
-    ("size_sweep", false, size_sweep);
-    ("error_sources", false, error_sources);
-    ("dma", false, dma_overhead);
-    ("yield", true, yield_analysis);
+    ("validation", false, p validation);
+    ("resilience", true, fun pool ppf -> resilience ~pool ppf);
+    ("table1", false, p table1);
+    ("table3", false, p table3);
+    ("eq3", false, p eq3_table);
+    ("isa", false, p isa_demo);
+    ("fig10a", false, p fig10a);
+    ("fig10b", false, p fig10b);
+    ("fig11", false, p fig11);
+    ("fig12", true, fun pool ppf -> fig12 ~pool ppf);
+    ("table2", true, fun pool ppf -> table2 ~pool ppf);
+    ("soa_knn", false, p soa_knn);
+    ("soa_dnn", true, p soa_dnn);
+    ("cm", false, p cm_compare);
+    ("ablation", false, p ablation_tp);
+    ("extensions", false, p ext_ablation);
+    ("adc_fidelity", false, p adc_fidelity);
+    ("size_sweep", false, p size_sweep);
+    ("error_sources", false, p error_sources);
+    ("dma", false, p dma_overhead);
+    ("yield", true, fun pool ppf -> yield_analysis ~pool ppf);
   ]
 
-let quick ppf =
-  List.iter (fun (_, slow, f) -> if not slow then f ppf) sections
+(* Sections are rendered to private buffers — concurrently when the
+   pool allows — and printed in list order, so the assembled report is
+   byte-identical at any job count (each section is deterministic and
+   writes only to its own formatter). *)
+let print_sections ?(pool = Pool.sequential) ppf fns =
+  let render f =
+    let buf = Buffer.create 4096 in
+    let bppf = Format.formatter_of_buffer buf in
+    f pool bppf;
+    Format.pp_print_flush bppf ();
+    Buffer.contents buf
+  in
+  List.iter
+    (Format.pp_print_string ppf)
+    (Pool.map_list pool render fns);
+  Format.pp_print_flush ppf ()
 
-let all ppf = List.iter (fun (_, _, f) -> f ppf) sections
+let quick ?pool ppf =
+  print_sections ?pool ppf
+    (List.filter_map
+       (fun (_, slow, f) -> if slow then None else Some f)
+       sections)
+
+let all ?pool ppf =
+  print_sections ?pool ppf (List.map (fun (_, _, f) -> f) sections)

@@ -32,16 +32,18 @@ val fig10b : Format.formatter -> unit
     SVM on CONV-8b (Figure 11). *)
 val fig11 : Format.formatter -> unit
 
-(** [fig12 ppf] — compiler swing optimization at p_m = 1%: optimized vs
-    full-precision energy and the search-space size per kernel
-    (Figure 12; paper savings 4–25%, geometric mean 17%). Slow: sweeps
-    all eight swings for the six single-task kernels and trains the
-    three DNNs. *)
-val fig12 : Format.formatter -> unit
+(** [fig12 ?pool ppf] — compiler swing optimization at p_m = 1%:
+    optimized vs full-precision energy and the search-space size per
+    kernel (Figure 12; paper savings 4–25%, geometric mean 17%). Slow:
+    sweeps all eight swings for the six single-task kernels and trains
+    the three DNNs; [pool] fans the per-benchmark sweeps out across
+    domains. *)
+val fig12 : ?pool:Promise_core.Pool.t -> Format.formatter -> unit
 
-(** [table2 ppf] — the benchmark inventory with the optimal swings at
-    p_m = 1% (Table 2). Shares the memoized fig12 optimizations. *)
-val table2 : Format.formatter -> unit
+(** [table2 ?pool ppf] — the benchmark inventory with the optimal
+    swings at p_m = 1% (Table 2). Shares the memoized fig12
+    optimizations. *)
+val table2 : ?pool:Promise_core.Pool.t -> Format.formatter -> unit
 
 (** [soa_knn ppf] — §6.2 comparison with the 14 nm k-NN accelerator [7],
     ITRS-scaled to 65 nm. *)
@@ -88,21 +90,34 @@ val dma_overhead : Format.formatter -> unit
     ({!Validation.report}). *)
 val validation : Format.formatter -> unit
 
-(** [resilience ppf] — the fault-injection campaign
+(** [resilience ?pool ppf] — the fault-injection campaign
     ({!Campaign.report}): scenario × benchmark detection / recovery
-    table. Slow. *)
-val resilience : Format.formatter -> unit
+    table. Slow; [pool] fans the campaign cells out across domains. *)
+val resilience : ?pool:Promise_core.Pool.t -> Format.formatter -> unit
 
-(** [yield_analysis ppf] — accuracy distribution across
+(** [yield_analysis ?pool ppf] — accuracy distribution across
     process-variation corners (noise seeds = dies) at reduced swings:
-    the die-to-die view behind Eq. (3)'s 99% confidence margin. Slow. *)
-val yield_analysis : Format.formatter -> unit
+    the die-to-die view behind Eq. (3)'s 99% confidence margin. Slow;
+    [pool] evaluates the dies concurrently. *)
+val yield_analysis : ?pool:Promise_core.Pool.t -> Format.formatter -> unit
 
-(** [quick ppf] — every section except the slow {!fig12}/{!table2}. *)
-val quick : Format.formatter -> unit
+(** [quick ?pool ppf] — every section except the slow
+    {!fig12}/{!table2}. *)
+val quick : ?pool:Promise_core.Pool.t -> Format.formatter -> unit
 
-(** [all ppf] — every section. *)
-val all : Format.formatter -> unit
+(** [all ?pool ppf] — every section. *)
+val all : ?pool:Promise_core.Pool.t -> Format.formatter -> unit
 
-(** [sections] — (name, slow, printer) for CLI selection. *)
-val sections : (string * bool * (Format.formatter -> unit)) list
+(** [sections] — (name, slow, printer) for CLI selection; every printer
+    takes the pool explicitly (pool-oblivious sections ignore it). *)
+val sections :
+  (string * bool * (Promise_core.Pool.t -> Format.formatter -> unit)) list
+
+(** [print_sections ?pool ppf fns] — render each section to a private
+    buffer (concurrently when [pool] allows) and print them in list
+    order: the output is byte-identical at any job count. *)
+val print_sections :
+  ?pool:Promise_core.Pool.t ->
+  Format.formatter ->
+  (Promise_core.Pool.t -> Format.formatter -> unit) list ->
+  unit

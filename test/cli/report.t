@@ -1,0 +1,44 @@
+Golden traces of the report CLI. Sections render into private buffers
+and print in list order, so the output is byte-identical at any job
+count.
+
+  $ promise_report table1
+  
+  == Table 1 - ML algorithm kernels ==
+     inner-loop distance D(W,X) and decision function f()
+     algorithm                    kernel                   f()
+     ------------------------------------------------------------------------
+     SVM                          sum w[i]x[i]             sign
+     Temp. Match. (L1)            sum |w[i]-x[i]|          min
+     Temp. Match. (L2)            sum (w[i]-x[i])^2        min
+     DNN                          sum w[i]x[i]             sigmoid
+     Feature extraction (PCA)     sum w[i]x[i]             -
+     k-NN (L1)                    sum |w[i]-x[i]|          majority vote
+     k-NN (L2)                    sum (w[i]-x[i])^2        majority vote
+     Matched filter               sum w[i]x[i]             threshold
+     Linear regression            means of u, v, u^2, uv   accumulate
+
+  $ promise_report isa
+  
+  == Figure 5 / §3.4 - the template-matching Task ==
+     aSUBT + absolute.avd + ADC + min over 127 candidates on 4 banks
+     asm:    task c1=aSUBT c2=absolute.avd c3=ADC c4=min rpt=126 mb=2 swing=7 acc=0 w=0 x1=0 x2=0 xprd=0 des=out thres=0
+     binary: 0xe000010fd45c (48 bits)
+     TP = 7 cycles, 127 iterations, 4 banks
+
+A multi-section parallel render is byte-for-byte the sequential one.
+
+  $ promise_report isa table1 eq3 > seq.txt
+  $ promise_report isa table1 eq3 --jobs 4 > par.txt
+  $ cmp seq.txt par.txt
+
+Unknown sections are reported with the available names.
+
+  $ promise_report no_such_section
+  unknown section "no_such_section"; available: validation, resilience, table1, table3, eq3, isa, fig10a, fig10b, fig11, fig12, table2, soa_knn, soa_dnn, cm, ablation, extensions, adc_fidelity, size_sweep, error_sources, dma, yield
+
+A bad job count is a usage error.
+
+  $ promise_report table1 --jobs 0
+  promise-report: --jobs must be in 1..64
+  [124]

@@ -162,6 +162,27 @@ let test_bist_all_adc_dead () =
        (function Selftest.Dead_adc _ -> true | _ -> false)
        (Selftest.findings_for report ~bank:0))
 
+let test_bist_all_banks_dead () =
+  (* Every bank dead: BIST must still return a report localizing every
+     bank, and the derived recovery must exclude them all. *)
+  let m = Arch.Machine.create (Arch.Machine.ideal_config ~banks:2) in
+  for b = 0 to 1 do
+    Arch.Bank.set_faults (Arch.Machine.bank m b)
+      (Faults.with_dead_bank Faults.none)
+  done;
+  let report = fok (Selftest.run m) in
+  for b = 0 to 1 do
+    check bool
+      (Printf.sprintf "dead bank %d reported" b)
+      true
+      (List.exists
+         (function Selftest.Dead_bank -> true | _ -> false)
+         (Selftest.findings_for report ~bank:b))
+  done;
+  let recovery = Rt.recovery_of_report report in
+  check (Alcotest.list Alcotest.int) "recovery excludes every bank" [ 0; 1 ]
+    (List.sort compare recovery.Rt.excluded_banks)
+
 (* ------------------------------------------------------------------ *)
 (* Lane-sparing recovery                                               *)
 (* ------------------------------------------------------------------ *)
@@ -221,6 +242,95 @@ let test_lane_sparing_recovery () =
     true (spared < 0.05)
 
 (* ------------------------------------------------------------------ *)
+(* Degradation to the digital fallback when no analog resource is left *)
+(* ------------------------------------------------------------------ *)
+
+let small_kernel_setup () =
+  let rows = 4 and cols = 40 in
+  let rng = Rng.create 2203 in
+  let w =
+    Array.init rows (fun _ ->
+        Array.init cols (fun _ -> Rng.uniform rng ~lo:(-0.8) ~hi:0.8))
+  in
+  let x = Array.init cols (fun _ -> Rng.uniform rng ~lo:(-0.8) ~hi:0.8) in
+  let k =
+    Dsl.kernel ~name:"t_degrade"
+      ~decls:
+        [
+          Dsl.matrix "W" ~rows ~cols;
+          Dsl.vector "x" ~len:cols;
+          Dsl.out_vector "out" ~len:rows;
+        ]
+      [ Dsl.for_store ~iterations:rows ~out:"out" (Dsl.dot "W" "x") ]
+  in
+  let b = Rt.bindings () in
+  Rt.bind_matrix b "W" w;
+  Rt.bind_vector b "x" x;
+  (fok (P.compile k), b, P.Ml.Linalg.mat_vec w x)
+
+let check_digital_run ~name r reference =
+  let o = fok (Rt.final_output r) in
+  check bool (name ^ ": chunks fell back") true (r.Rt.stats.Rt.fallbacks > 0);
+  Array.iteri
+    (fun i v ->
+      check bool
+        (Printf.sprintf "%s: out[%d] accurate (%.4f vs %.4f)" name i v
+           reference.(i))
+        true
+        (Float.abs (v -. reference.(i)) < 0.05))
+    o.Rt.values
+
+let test_all_banks_excluded_falls_back () =
+  (* Recovery excludes every bank: with the fallback on, the whole run
+     degrades to the digital reference instead of failing. *)
+  let g, b, reference = small_kernel_setup () in
+  let m = Arch.Machine.create (Arch.Machine.ideal_config ~banks:2) in
+  let recovery =
+    { Rt.default_recovery with Rt.excluded_banks = [ 0; 1 ] }
+  in
+  check_digital_run ~name:"all-banks-excluded"
+    (fok (Rt.run ~machine:m ~recovery g b))
+    reference
+
+let test_all_lanes_spared_falls_back () =
+  (* Sparing all 128 lanes leaves no healthy column anywhere: same
+     digital degradation, through the lane rather than the bank path. *)
+  let g, b, reference = small_kernel_setup () in
+  let m = Arch.Machine.create (Arch.Machine.ideal_config ~banks:2) in
+  let recovery =
+    {
+      Rt.default_recovery with
+      Rt.spared_lanes = List.init 128 (fun l -> l);
+    }
+  in
+  check_digital_run ~name:"all-lanes-spared"
+    (fok (Rt.run ~machine:m ~recovery g b))
+    reference
+
+let test_no_resource_without_fallback_is_typed () =
+  (* With the fallback off the same situations are a typed Capacity
+     error, never an exception. *)
+  let g, b, _ = small_kernel_setup () in
+  let expect_capacity name recovery =
+    let m = Arch.Machine.create (Arch.Machine.ideal_config ~banks:2) in
+    match Rt.run ~machine:m ~recovery g b with
+    | Ok _ -> fail (name ^ ": expected a Capacity error")
+    | Error e -> check bool name true (e.E.code = E.Capacity)
+  in
+  expect_capacity "all banks excluded, no fallback"
+    {
+      Rt.default_recovery with
+      Rt.excluded_banks = [ 0; 1 ];
+      digital_fallback = false;
+    };
+  expect_capacity "all lanes spared, no fallback"
+    {
+      Rt.default_recovery with
+      Rt.spared_lanes = List.init 128 (fun l -> l);
+      digital_fallback = false;
+    }
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "resilience"
@@ -246,10 +356,18 @@ let () =
             test_bist_clean_machine;
           Alcotest.test_case "all ADC units dead becomes a finding" `Quick
             test_bist_all_adc_dead;
+          Alcotest.test_case "all banks dead: localized and excluded" `Quick
+            test_bist_all_banks_dead;
         ] );
       ( "recovery",
         [
           Alcotest.test_case "lane sparing restores a stuck-lane kernel"
             `Quick test_lane_sparing_recovery;
+          Alcotest.test_case "all banks excluded degrades to digital" `Quick
+            test_all_banks_excluded_falls_back;
+          Alcotest.test_case "all lanes spared degrades to digital" `Quick
+            test_all_lanes_spared_falls_back;
+          Alcotest.test_case "no analog resource without fallback is typed"
+            `Quick test_no_resource_without_fallback_is_typed;
         ] );
     ]
