@@ -126,8 +126,16 @@ let run_micro () =
 (* Times the same campaign workload at jobs=1 and jobs=N and proves the
    outputs identical. The campaign is not memoized, so both timed runs
    do the full simulation; a warmup run populates the compiled-task
-   cache first so neither timed run pays compilation. *)
-let run_parallel_bench ~jobs =
+   cache first so neither timed run pays compilation.
+
+   The measured job count is clamped to the host's usable cores:
+   oversubscribed domains only add scheduling noise, and the reported
+   "speedup" then understates the machine (the PR-2 anomaly). The JSON
+   records both the requested and the effective count so CI artifacts
+   from small runners stay interpretable. *)
+let run_parallel_bench ~jobs:requested =
+  let cores = Domain.recommended_domain_count () in
+  let jobs = max 1 (min requested cores) in
   let scenarios = P.Campaign.quick_scenarios () in
   let benchmarks = [ P.Benchmarks.matched_filter () ] in
   let run ~jobs =
@@ -141,27 +149,136 @@ let run_parallel_bench ~jobs =
   let cells_n, tn = run ~jobs in
   let identical = cells1 = cells_n in
   let speedup = t1 /. tn in
-  let cores = Domain.recommended_domain_count () in
+  let note =
+    if jobs < requested then
+      Printf.sprintf
+        ",\n  \"note\": \"requested %d jobs clamped to %d usable cores\""
+        requested cores
+    else ""
+  in
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc
     "{\n\
     \  \"workload\": \"fault campaign, %d quick scenarios x matched filter \
      (%d cells)\",\n\
     \  \"host_cores\": %d,\n\
+    \  \"requested_jobs\": %d,\n\
+    \  \"effective_jobs\": %d,\n\
     \  \"baseline\": { \"jobs\": 1, \"seconds\": %.3f },\n\
     \  \"parallel\": { \"jobs\": %d, \"seconds\": %.3f },\n\
     \  \"speedup\": %.3f,\n\
-    \  \"identical_output\": %b\n\
+    \  \"identical_output\": %b%s\n\
      }\n"
-    (List.length scenarios) (List.length cells1) cores t1 jobs tn speedup
-    identical;
+    (List.length scenarios) (List.length cells1) cores requested jobs t1 jobs
+    tn speedup identical note;
   close_out oc;
   Format.fprintf ppf
-    "parallel bench: jobs=1 %.3fs, jobs=%d %.3fs, speedup %.2fx, \
-     identical_output=%b (host cores %d) -> BENCH_parallel.json@."
-    t1 jobs tn speedup identical cores;
+    "parallel bench: jobs=1 %.3fs, jobs=%d %.3fs (requested %d, host cores \
+     %d), speedup %.2fx, identical_output=%b -> BENCH_parallel.json@."
+    t1 jobs tn requested cores speedup identical;
   if not identical then (
     Format.fprintf ppf "FAIL: parallel output differs from sequential@.";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Fused-kernel macro-benchmark                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays the matched-filter per-decision ISA program on two machines
+   built from the same seed and data image — one stepping the scalar
+   reference datapath, one the fused compiled kernels — and reports
+   single-thread task throughput, Gc minor words per task, and a full
+   output comparison (bit-identity makes the two runs produce the same
+   emission stream draw for draw). *)
+let run_kernels_bench ~quick =
+  let b = P.Benchmarks.matched_filter () in
+  let program = b.P.Benchmarks.per_decision_program in
+  let n_tasks = List.length program.P.Isa.Program.tasks in
+  let reps = if quick then 300 else 2000 in
+  let lanes = P.Arch.Params.lanes in
+  let fill_machine machine =
+    let rng = P.Analog.Rng.create 7 in
+    let codes () = Array.init lanes (fun _ -> P.Analog.Rng.int rng 255 - 128) in
+    for bi = 0 to P.Arch.Machine.n_banks machine - 1 do
+      let bank = P.Arch.Machine.bank machine bi in
+      for row = 0 to 63 do
+        P.Arch.Bitcell_array.write (P.Arch.Bank.array bank) ~word_row:row
+          (codes ())
+      done;
+      for i = 0 to P.Arch.Params.xreg_depth - 1 do
+        P.Arch.Xreg.load (P.Arch.Bank.xreg bank) ~index:i (codes ())
+      done
+    done
+  in
+  let time_mode mode =
+    let machine =
+      P.Arch.Machine.create
+        {
+          P.Arch.Machine.banks = max 1 b.P.Benchmarks.banks;
+          profile = P.Arch.Bank.Silicon;
+          noise_seed = Some 42;
+        }
+    in
+    fill_machine machine;
+    let run () =
+      match P.Arch.Machine.run_program ~kernel_mode:mode machine program with
+      | Ok results -> results
+      | Error e -> failwith (P.Error.to_string e)
+    in
+    (* warmup: populates the kernel cache so the timed loop measures the
+       steady state both paths reach on a replay workload *)
+    ignore (run ());
+    let outputs = ref [] in
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter
+        (fun r -> outputs := r.P.Arch.Machine.emitted :: !outputs)
+        (run ())
+    done;
+    let seconds = ref (Unix.gettimeofday () -. t0) in
+    let minor = Gc.minor_words () -. minor0 in
+    (* best of three timed windows: the replay is deterministic, so
+       window-to-window variation is scheduler noise, not workload *)
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (run ())
+      done;
+      let s = Unix.gettimeofday () -. t0 in
+      if s < !seconds then seconds := s
+    done;
+    let total = float_of_int (reps * n_tasks) in
+    (!seconds, total /. !seconds, minor /. total, !outputs)
+  in
+  let ref_s, ref_tps, ref_mwpt, ref_out = time_mode P.Arch.Machine.Reference in
+  let fus_s, fus_tps, fus_mwpt, fus_out = time_mode P.Arch.Machine.Fused in
+  let identical = ref_out = fus_out in
+  let speedup = ref_s /. fus_s in
+  let oc = open_out "BENCH_kernels.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"matched filter (N=512) per-decision program replay, \
+     single thread\",\n\
+    \  \"reps\": %d,\n\
+    \  \"tasks\": %d,\n\
+    \  \"reference\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
+     \"minor_words_per_task\": %.1f },\n\
+    \  \"fused\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
+     \"minor_words_per_task\": %.1f },\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"identical_output\": %b\n\
+     }\n"
+    reps (reps * n_tasks) ref_s ref_tps ref_mwpt fus_s fus_tps fus_mwpt
+    speedup identical;
+  close_out oc;
+  Format.fprintf ppf
+    "kernel bench: reference %.1f tasks/s (%.0f minor words/task), fused \
+     %.1f tasks/s (%.0f minor words/task), speedup %.2fx, \
+     identical_output=%b -> BENCH_kernels.json@."
+    ref_tps ref_mwpt fus_tps fus_mwpt speedup identical;
+  if not identical then (
+    Format.fprintf ppf "FAIL: fused output differs from reference@.";
     exit 1)
 
 (* ------------------------------------------------------------------ *)
@@ -170,15 +287,18 @@ let run_parallel_bench ~jobs =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse jobs quick par names = function
-    | [] -> (jobs, quick, par, List.rev names)
-    | "--quick" :: rest -> parse jobs true par names rest
-    | "--parallel" :: rest -> parse jobs quick true names rest
-    | "--jobs" :: n :: rest -> parse (Some (int_of_string n)) quick par names rest
-    | s :: rest -> parse jobs quick par (s :: names) rest
+  let rec parse jobs quick par ker names = function
+    | [] -> (jobs, quick, par, ker, List.rev names)
+    | "--quick" :: rest -> parse jobs true par ker names rest
+    | "--parallel" :: rest -> parse jobs quick true ker names rest
+    | "--kernels" :: rest -> parse jobs quick par true names rest
+    | "--jobs" :: n :: rest ->
+        parse (Some (int_of_string n)) quick par ker names rest
+    | s :: rest -> parse jobs quick par ker (s :: names) rest
   in
-  let jobs, quick, parallel, names = parse None false false [] args in
-  if parallel then run_parallel_bench ~jobs:(Option.value jobs ~default:4)
+  let jobs, quick, parallel, kernels, names = parse None false false false [] args in
+  if kernels then run_kernels_bench ~quick
+  else if parallel then run_parallel_bench ~jobs:(Option.value jobs ~default:4)
   else begin
     let jobs = Option.value jobs ~default:1 in
     Format.fprintf ppf

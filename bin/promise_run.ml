@@ -1,7 +1,8 @@
 (* promise-run: run one of the Table-2 benchmarks end to end and report
    accuracy, energy and throughput against the CONV baselines.
 
-   Usage: promise_run BENCHMARK [--swing N] [--pm P] [--optimize] [--jobs N] *)
+   Usage: promise_run BENCHMARK [--swing N] [--pm P] [--optimize] [--jobs N]
+                      [--kernel-mode fused|reference] *)
 
 module P = Promise
 module B = P.Benchmarks
@@ -23,7 +24,7 @@ let benchmarks =
     ("dnn-3", fun () -> B.dnn B.D3);
   ]
 
-let run name swing pm optimize jobs =
+let run name swing pm optimize jobs kernel_mode =
   match List.assoc_opt name benchmarks with
   | None ->
       `Error
@@ -53,7 +54,7 @@ let run name swing pm optimize jobs =
       Printf.printf "swings: (%s) [%s]\n"
         (String.concat "," (List.map string_of_int swings))
         label;
-      let e = b.B.evaluate ~pool ~swings () in
+      let e = b.B.evaluate ~pool ~kernel_mode ~swings () in
       Printf.printf "PROMISE accuracy: %.3f (mismatch %.3f)\n"
         e.B.promise_accuracy e.B.mismatch;
       let energy = Model.total (B.promise_energy b ~swings) in
@@ -98,6 +99,20 @@ let jobs_arg =
           "Fan the per-bank simulation and swing search out across $(docv) \
            domains. Results are bit-identical at any job count.")
 
+let kernel_mode_arg =
+  let modes =
+    [ ("fused", P.Arch.Machine.Fused); ("reference", P.Arch.Machine.Reference) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) (P.Arch.Machine.default_kernel_mode ())
+    & info [ "kernel-mode" ] ~docv:"MODE"
+        ~doc:
+          "Analog datapath implementation: $(b,fused) (compiled per-task \
+           iteration kernels, the default) or $(b,reference) (the scalar \
+           path). The two are bit-identical; reference exists as the \
+           differential oracle.")
+
 let () =
   let info =
     Cmd.info "promise-run" ~version:Promise.version
@@ -109,4 +124,4 @@ let () =
           Term.(
             ret
               (const run $ name_arg $ swing_arg $ pm_arg $ optimize_arg
-             $ jobs_arg))))
+             $ jobs_arg $ kernel_mode_arg))))

@@ -13,8 +13,17 @@ val capacitor_rate_per_ns : float
     exponential droop toward 0: [v *. exp (-. rate *. ns)]. *)
 val droop : rate_per_ns:float -> ns:float -> float -> float
 
+(** [droop_factor ~rate_per_ns ~ns] — the multiplier alone, so a
+    per-task-constant idle time pays the [exp] once;
+    [droop ~rate ~ns v ≡ v *. droop_factor ~rate ~ns] bit-for-bit. *)
+val droop_factor : rate_per_ns:float -> ns:float -> float
+
 (** [bitline ~idle_ns v] — {!droop} at {!bitline_rate_per_ns}. *)
 val bitline : idle_ns:float -> float -> float
+
+(** [bitline_factor ~idle_ns] — {!droop_factor} at
+    {!bitline_rate_per_ns}. *)
+val bitline_factor : idle_ns:float -> float
 
 (** [stage_hold ~idle_ns v] — {!droop} at {!capacitor_rate_per_ns}. *)
 val stage_hold : idle_ns:float -> float -> float

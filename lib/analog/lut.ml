@@ -12,15 +12,22 @@ let compressive ~alpha = of_function (fun x -> x -. (alpha *. (x ** 3.0)))
 let with_offset ~offset t =
   { entries = Array.map (fun v -> v +. offset) t.entries }
 
-let apply t v =
-  let n = Array.length t.entries in
+(* The one interpolation rule of the model. [apply] and every
+   pre-sampled fast path (the fused kernels inline this arithmetic over
+   {!table}) must perform these exact operations in this exact order so
+   their results are bit-identical. *)
+let apply_raw entries v =
+  let n = Array.length entries in
   let v = Float.min 1.0 (Float.max (-1.0) v) in
   let pos = (v +. 1.0) /. 2.0 *. float_of_int (n - 1) in
   let i = int_of_float (Float.floor pos) in
-  if i >= n - 1 then t.entries.(n - 1)
+  if i >= n - 1 then entries.(n - 1)
   else
     let frac = pos -. float_of_int i in
-    ((1.0 -. frac) *. t.entries.(i)) +. (frac *. t.entries.(i + 1))
+    ((1.0 -. frac) *. entries.(i)) +. (frac *. entries.(i + 1))
+
+let apply t v = apply_raw t.entries v
+let table t = Array.copy t.entries
 
 let max_deviation t =
   let n = Array.length t.entries in

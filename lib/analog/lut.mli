@@ -32,6 +32,17 @@ val with_offset : offset:float -> t -> t
     interpolation. *)
 val apply : t -> float -> float
 
+(** [table t] — a copy of the raw entry table, evenly spaced over
+    [[-1, 1]], for callers that pre-sample or inline the interpolation
+    ({!Promise_arch.Kernel}). [apply_raw (table t) v ≡ apply t v]. *)
+val table : t -> float array
+
+(** [apply_raw entries v] — the exact interpolation arithmetic of
+    {!apply} over a raw entry table. This is the single definition of
+    the lookup rule: any fast path that inlines it must reproduce these
+    operations in this order to stay bit-identical. *)
+val apply_raw : float array -> float -> float
+
 (** [max_deviation t] — max |apply t v - v| over the table entries. *)
 val max_deviation : t -> float
 

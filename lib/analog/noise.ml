@@ -3,6 +3,7 @@ type t = Disabled | Enabled of Rng.t
 let create ~rng () = Enabled rng
 let disabled = Disabled
 let is_enabled = function Disabled -> false | Enabled _ -> true
+let rng = function Disabled -> None | Enabled rng -> Some rng
 
 let sigma ~swing ~w = Float.abs w *. Swing.noise_factor swing
 

@@ -16,6 +16,12 @@ val disabled : t
 
 val is_enabled : t -> bool
 
+(** [rng t] — the underlying stream ([None] when disabled), for fast
+    paths that pre-compute {!sigma} per stored code and then draw
+    [Rng.gaussian_scaled rng ~mu ~sigma] themselves; with the same
+    sigma values this is draw-for-draw identical to {!aread}. *)
+val rng : t -> Rng.t option
+
 (** [sigma ~swing ~w] — the aREAD standard deviation [|w| · f(swing)]. *)
 val sigma : swing:int -> w:float -> float
 

@@ -1,11 +1,31 @@
-type t = { mutable state : int64; mutable cached_gaussian : float option }
+(* Splitmix64 streams. The representation is chosen for the simulator's
+   hot loops (one gaussian per lane per iteration), not for elegance:
+
+   - [state] lives in a 1-element Int64 Bigarray: loads and stores are
+     unboxed with no write barrier. A [mutable state : int64] record
+     field would allocate a boxed Int64 (plus caml_modify) on every
+     draw — without flambda that dominates the draw cost.
+   - the Box-Muller cache is a 1-element float array plus a flag: float
+     array stores are unboxed, while a [float option] field would
+     allocate a [Some] box every second draw.
+
+   The value sequences are identical to the straightforward
+   implementation — representation only, never arithmetic. *)
+
+type t = {
+  state : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  cached : float array;  (* length 1: the spare Box-Muller gaussian *)
+  mutable has_cached : bool;
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed =
-  { state = Int64.of_int seed; cached_gaussian = None }
+let of_state s =
+  let state = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 1 in
+  Bigarray.Array1.unsafe_set state 0 s;
+  { state; cached = [| 0.0 |]; has_cached = false }
 
-let next_seed state = Int64.add state golden_gamma
+let create seed = of_state (Int64.of_int seed)
 
 (* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
 let mix z =
@@ -16,12 +36,11 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let bits64 t =
-  t.state <- next_seed t.state;
-  mix t.state
+  let s = Int64.add (Bigarray.Array1.unsafe_get t.state 0) golden_gamma in
+  Bigarray.Array1.unsafe_set t.state 0 s;
+  mix s
 
-let split t =
-  let seed = bits64 t in
-  { state = seed; cached_gaussian = None }
+let split t = of_state (bits64 t)
 
 let split_n t n =
   if n < 0 then invalid_arg "Rng.split_n: negative count";
@@ -33,7 +52,11 @@ let split_n t n =
   done;
   streams
 
-let copy t = { state = t.state; cached_gaussian = t.cached_gaussian }
+let copy t =
+  let c = of_state (Bigarray.Array1.unsafe_get t.state 0) in
+  c.cached.(0) <- t.cached.(0);
+  c.has_cached <- t.has_cached;
+  c
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -42,29 +65,121 @@ let int t bound =
   mask mod bound
 
 let float t =
-  (* 53 uniform mantissa bits. *)
-  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
-  bits *. (1.0 /. 9007199254740992.0)
+  (* 53 uniform mantissa bits. The state advance and splitmix64
+     finalizer are inlined by hand (same operations, same values):
+     keeping the whole Int64 chain in one function body is what lets
+     the compiler leave it unboxed. *)
+  let s = Int64.add (Bigarray.Array1.unsafe_get t.state 0) golden_gamma in
+  Bigarray.Array1.unsafe_set t.state 0 s;
+  let z =
+    Int64.mul
+      (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11)
+  *. (1.0 /. 9007199254740992.0)
 
 let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
 let gaussian t =
-  match t.cached_gaussian with
-  | Some g ->
-      t.cached_gaussian <- None;
-      g
-  | None ->
-      let rec draw () =
-        let u = float t in
-        if u <= 1e-300 then draw () else u
-      in
-      let u1 = draw () and u2 = float t in
-      let r = sqrt (-2.0 *. log u1) in
-      let theta = 2.0 *. Float.pi *. u2 in
-      t.cached_gaussian <- Some (r *. sin theta);
-      r *. cos theta
+  if t.has_cached then begin
+    t.has_cached <- false;
+    t.cached.(0)
+  end
+  else begin
+    let rec draw () =
+      let u = float t in
+      if u <= 1e-300 then draw () else u
+    in
+    let u1 = draw () in
+    let u2 = float t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.cached.(0) <- r *. sin theta;
+    t.has_cached <- true;
+    r *. cos theta
+  end
 
 let gaussian_scaled t ~mu ~sigma = mu +. (sigma *. gaussian t)
+
+(* Rejection fallback for [gaussian_fill]'s first uniform; reached with
+   probability ~1e-300 per pair, so it may allocate freely. *)
+let rec reject_small t =
+  let u = float t in
+  if u > 1e-300 then u else reject_small t
+
+(* The pair loop behind [gaussian_fill]. A module-level tail-recursive
+   function on an int index, rather than a [while] over a [ref], so one
+   call allocates nothing at all: the counter stays in a register and
+   the uniform draws inline the [float] chain (same operations, same
+   values) instead of paying a boxed return per draw. *)
+let rec fill_pairs t dst n i =
+  if i < n then begin
+    let s = Int64.add (Bigarray.Array1.unsafe_get t.state 0) golden_gamma in
+    Bigarray.Array1.unsafe_set t.state 0 s;
+    let z =
+      Int64.mul
+        (Int64.logxor s (Int64.shift_right_logical s 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let u =
+      Int64.to_float (Int64.shift_right_logical z 11)
+      *. (1.0 /. 9007199254740992.0)
+    in
+    let u1 = if u > 1e-300 then u else reject_small t in
+    let s = Int64.add (Bigarray.Array1.unsafe_get t.state 0) golden_gamma in
+    Bigarray.Array1.unsafe_set t.state 0 s;
+    let z =
+      Int64.mul
+        (Int64.logxor s (Int64.shift_right_logical s 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let u2 =
+      Int64.to_float (Int64.shift_right_logical z 11)
+      *. (1.0 /. 9007199254740992.0)
+    in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    Array.unsafe_set dst i (r *. cos theta);
+    if i + 1 < n then begin
+      Array.unsafe_set dst (i + 1) (r *. sin theta);
+      fill_pairs t dst n (i + 2)
+    end
+    else begin
+      t.cached.(0) <- r *. sin theta;
+      t.has_cached <- true
+    end
+  end
+
+let gaussian_fill t dst =
+  (* Equivalent to [for i = 0 to n-1 do dst.(i) <- gaussian t done] —
+     same draws, same final cache state — with zero allocations. *)
+  let n = Array.length dst in
+  if n > 0 then
+    if t.has_cached then begin
+      t.has_cached <- false;
+      Array.unsafe_set dst 0 t.cached.(0);
+      fill_pairs t dst n 1
+    end
+    else fill_pairs t dst n 0
 
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -39,5 +39,12 @@ val gaussian : t -> float
 (** [gaussian_scaled t ~mu ~sigma] — N(mu, sigma²). *)
 val gaussian_scaled : t -> mu:float -> sigma:float -> float
 
+(** [gaussian_fill t dst] fills [dst] with standard normals, consuming
+    the stream exactly as [Array.length dst] successive [gaussian]
+    calls would (same values, same final cache state). Exists so hot
+    loops can draw a whole lane vector without boxing a float per
+    draw. *)
+val gaussian_fill : t -> float array -> unit
+
 (** [shuffle t arr] — in-place Fisher-Yates shuffle. *)
 val shuffle : t -> 'a array -> unit

@@ -66,6 +66,8 @@ let xreg_normalized t ~index =
 let array t = t.array
 let xreg t = t.xreg
 let profile t = t.profile
+let noise t = t.noise
+let transient_rng t = t.fault_rng
 let set_write_data t codes = t.write_data <- Some codes
 
 type step =

@@ -28,6 +28,18 @@ val array : t -> Bitcell_array.t
 val xreg : t -> Xreg.t
 val profile : t -> profile
 
+(** [noise t] — the bank's aREAD noise source (its private split RNG
+    stream). The fused kernels ({!Kernel}) draw from it directly with
+    pre-computed sigmas; sharing the object keeps the draw sequence
+    identical to the scalar path's. *)
+val noise : t -> Promise_analog.Noise.t
+
+(** [transient_rng t] — the X-REG transient-upset stream seeded by
+    {!set_faults} ([None] when no flip fault is injected). Exposed for
+    {!Kernel}, which must consume the same stream in the same order as
+    the scalar path. *)
+val transient_rng : t -> Promise_analog.Rng.t option
+
 (** [set_faults t f] — inject hard faults ({!Faults}): stuck/dead lanes
     corrupt every analog read, a dead bank zeroes both read paths, the
     ADC offset shifts every conversion, swing drift degrades the
@@ -61,6 +73,13 @@ type step =
 
 (** [analog_scale task] — true value = [analog_scale] × analog value. *)
 val analog_scale : Promise_isa.Task.t -> float
+
+(** [lut_for_profile profile select] — the transfer curve a profile
+    applies: identity for [Ideal] / [Custom {lut = false}], [select ()]
+    (a Silicon LUT) otherwise. Shared with {!Kernel} so both paths
+    select curves by the same rule. *)
+val lut_for_profile :
+  profile -> (unit -> Promise_analog.Lut.t) -> Promise_analog.Lut.t
 
 (** [run_iteration ?lane_mask t ~task ~iteration ~active_lanes ~adc_gain]
     — execute iteration [iteration] (0-based) of [task]:

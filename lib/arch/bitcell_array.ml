@@ -33,10 +33,11 @@ let read_lane t ~word_row ~lane =
   t.words.(word_row).(lane)
 
 let normalized code = float_of_int code /. 128.0
+let quantize = Promise_core.Quant.quantize8
 
-let quantize v =
-  let code = int_of_float (Float.round (v *. 128.0)) in
-  max (-128) (min 127 code)
+let row_unsafe t ~word_row =
+  check_addr word_row;
+  t.words.(word_row)
 
 let aread t ~word_row ~swing ~noise ~lut =
   check_addr word_row;

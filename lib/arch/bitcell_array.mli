@@ -45,5 +45,14 @@ val msb_lsb_view : t -> word_row:int -> lane:int -> int * int
 (** [normalized code] — [code / 128.]. *)
 val normalized : int -> float
 
-(** [quantize v] — nearest 8-bit code for [v], clamped to [[-1, 1)]. *)
+(** [quantize v] — nearest 8-bit code for [v], clamped to [[-1, 1)];
+    delegates to {!Promise_core.Quant.quantize8}, the one quantizer
+    shared by every storage path. *)
 val quantize : float -> int
+
+(** [row_unsafe t ~word_row] — the live storage row itself, NOT a copy:
+    the caller must treat it as read-only and must not hold it across a
+    {!write}. This is the zero-allocation read the fused iteration
+    kernels ({!Kernel}) are built on; everything else should use
+    {!read}. *)
+val row_unsafe : t -> word_row:int -> int array

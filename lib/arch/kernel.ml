@@ -1,0 +1,503 @@
+(* Compiled per-task iteration kernels for the analog datapath.
+
+   [specialize] hoists everything [Bank.run_iteration] recomputes per
+   iteration — effective swing and its noise factor, LUT selection, the
+   idle-leakage exponential, stuck/dead lane overrides, charge-share
+   membership, ADC constants, X addressing — into a flat record, with
+   the aREAD transfer curve and noise sigma pre-sampled per 8-bit code
+   (the aREAD input is always [code / 128], so a 256-entry table is
+   exact, not an approximation). [sample_into] then runs
+   class1 → leakage → ASD → charge-share → ADC as tight loops over
+   preallocated scratch buffers: zero minor-heap allocations per
+   iteration in the steady state (noise and transient faults draw
+   through the RNG, whose Box-Muller cache allocates; the no-noise path
+   is allocation-free, which the Gc test in test_kernels asserts).
+
+   BIT-IDENTITY CONTRACT: every float operation below reproduces the
+   scalar path's arithmetic in the scalar path's order, and every RNG
+   stream (the bank's noise stream, the transient-upset stream) is the
+   bank's own object consumed in ascending lane order exactly as
+   [Bitcell_array.aread] / [Bank.xreg_normalized] consume it. The
+   QCheck differential suite (test_kernels) holds Fused ≡ Reference
+   over random tasks, profiles, faults and lane masks; any edit here
+   or in Bank/Bitcell_array/Faults must keep that suite green. *)
+
+open Promise_isa
+module A = Promise_analog
+
+type c1_kind = K_aread | K_asubt | K_aadd
+
+type asd_kind =
+  | S_none
+  | S_compare
+  | S_absolute
+  | S_square
+  | S_sign_mult
+  | S_unsign_mult
+
+(* The launch shape the kernel was specialized for, kept for cache
+   validation ([matches]). *)
+type spec = {
+  task : Task.t;
+  active_lanes : int;
+  adc_gain : float;
+  lane_mask : bool array option;
+  faults : Faults.t;
+}
+
+type fused = {
+  array : Bitcell_array.t;
+  xreg : Xreg.t;
+  c1 : c1_kind;
+  asd : asd_kind;
+  (* per-code pre-samples: index [code + 128] *)
+  shaped : float array;  (* aREAD LUT of code/128 *)
+  sigma : float array;  (* |shaped| × noise factor at effective swing *)
+  noise_rng : A.Rng.t option;
+  flip_rng : A.Rng.t option;  (* X-REG transient upsets *)
+  flip_rate : float;
+  asd_tbl : float array;  (* ASD transfer-curve entries; [||] when none *)
+  has_leak : bool;
+  leak : float;  (* idle-slot droop factor, paid once per task *)
+  override_any : bool;
+  override_on : bool array;  (* stuck/dead lane replacement, post-noise *)
+  override_val : float array;
+  acc_on : bool array;  (* charge-share membership per physical lane *)
+  acc_empty : bool;
+  divisor : float;
+  w_addr : int;
+  x_base : int;
+  x_period : int;
+  adc_gain : float;
+  adc_offset : float;
+  (* preallocated scratch: the zero-allocation working set *)
+  wbuf : float array;  (* class-1 / ASD value per lane *)
+  gbuf : float array;  (* standard normals, one batch draw per iteration *)
+  xbuf : float array;  (* normalized X operand per lane *)
+  sbuf : float array;  (* [0] = charge-share accumulator *)
+  out1 : float array;  (* [0] = sample, for the [step] wrapper *)
+}
+
+type impl = Fused of fused | Passthrough
+
+type t = {
+  spec : spec;
+  bank : Bank.t;
+  flip_stream : A.Rng.t option;  (* object captured at specialization *)
+  impl : impl;
+}
+
+let is_fused t = match t.impl with Fused _ -> true | Passthrough -> false
+
+let specialize ?lane_mask bank ~(task : Task.t) ~active_lanes ~adc_gain =
+  if active_lanes < 1 || active_lanes > Params.lanes then
+    invalid_arg "Kernel.specialize: active_lanes out of [1, 128]";
+  if adc_gain <= 0.0 then invalid_arg "Kernel.specialize: adc_gain <= 0";
+  let faults = Bank.faults bank in
+  let spec = { task; active_lanes; adc_gain; lane_mask; faults } in
+  let flip_stream = Bank.transient_rng bank in
+  let fusable =
+    (match task.class1 with
+    | Opcode.C1_aread | Opcode.C1_asubt | Opcode.C1_aadd -> true
+    | Opcode.C1_none | Opcode.C1_write | Opcode.C1_read -> false)
+    && task.class2.Opcode.avd && Task.uses_adc task
+  in
+  if not fusable then { spec; bank; flip_stream; impl = Passthrough }
+  else begin
+    let p = task.op_param in
+    let profile = Bank.profile bank in
+    let c1 =
+      match task.class1 with
+      | Opcode.C1_aread -> K_aread
+      | Opcode.C1_asubt -> K_asubt
+      | Opcode.C1_aadd -> K_aadd
+      | _ -> assert false
+    in
+    let asd =
+      match task.class2.Opcode.asd with
+      | Opcode.Asd_none -> S_none
+      | Opcode.Asd_compare -> S_compare
+      | Opcode.Asd_absolute -> S_absolute
+      | Opcode.Asd_square -> S_square
+      | Opcode.Asd_sign_mult -> S_sign_mult
+      | Opcode.Asd_unsign_mult -> S_unsign_mult
+    in
+    let swing = Faults.effective_swing faults ~swing:p.Op_param.swing in
+    let aread_lut =
+      Bank.lut_for_profile profile (fun () -> A.Lut.Silicon.aread)
+    in
+    (* the aREAD input domain is exactly the 256 codes: pre-sample the
+       curve and the per-code sigma with the scalar path's own
+       arithmetic, so table lookups are bit-identical to it *)
+    let shaped =
+      Array.init 256 (fun i ->
+          A.Lut.apply aread_lut (float_of_int (i - 128) /. 128.0))
+    in
+    let nf = A.Swing.noise_factor swing in
+    let sigma = Array.init 256 (fun i -> Float.abs shaped.(i) *. nf) in
+    let asd_tbl =
+      let tbl select = A.Lut.table (Bank.lut_for_profile profile select) in
+      match asd with
+      | S_none -> [||]
+      | S_compare -> tbl (fun () -> A.Lut.Silicon.compare_)
+      | S_absolute -> tbl (fun () -> A.Lut.Silicon.absolute)
+      | S_square -> tbl (fun () -> A.Lut.Silicon.square)
+      | S_sign_mult | S_unsign_mult -> tbl (fun () -> A.Lut.Silicon.mult)
+    in
+    let has_leak =
+      match profile with
+      | Bank.Ideal | Bank.Custom { leakage = false; _ } -> false
+      | Bank.Silicon | Bank.Custom { leakage = true; _ } -> true
+    in
+    let leak =
+      if not has_leak then 1.0
+      else
+        let tp = Timing.task_tp task in
+        let idle =
+          float_of_int (max 0 (tp - Timing.class1_delay task.class1))
+          *. Params.cycle_ns
+        in
+        A.Leakage.bitline_factor
+          ~idle_ns:(Faults.effective_idle_ns faults ~idle_ns:idle)
+    in
+    let override_on = Array.make Params.lanes false in
+    let override_val = Array.make Params.lanes 0.0 in
+    let override_any =
+      if Faults.is_dead_bank faults then begin
+        Array.fill override_on 0 Params.lanes true;
+        true
+      end
+      else begin
+        (* stuck first, dead second: the scalar [Faults.apply_stuck]
+           order, so a lane both stuck and dead ends up dead *)
+        List.iter
+          (fun (lane, code) ->
+            if lane < Params.lanes then begin
+              override_on.(lane) <- true;
+              override_val.(lane) <- float_of_int code /. 128.0
+            end)
+          (Faults.stuck_lanes faults);
+        List.iter
+          (fun lane ->
+            if lane < Params.lanes then begin
+              override_on.(lane) <- true;
+              override_val.(lane) <- 0.0
+            end)
+          (Faults.dead_lanes faults);
+        Faults.stuck_lanes faults <> [] || Faults.dead_lanes faults <> []
+      end
+    in
+    let acc_on = Array.make Params.lanes false in
+    let acc_empty, divisor =
+      match lane_mask with
+      | None ->
+          Array.fill acc_on 0 active_lanes true;
+          (false, float_of_int active_lanes)
+      | Some mask ->
+          let n = ref 0 in
+          Array.iteri
+            (fun i on ->
+              if on && i < Params.lanes then begin
+                acc_on.(i) <- true;
+                incr n
+              end)
+            mask;
+          (!n = 0, float_of_int !n)
+    in
+    let flip_rng, flip_rate =
+      match (Faults.xreg_flip faults, flip_stream) with
+      | Some { Faults.rate; _ }, (Some _ as rng) -> (rng, rate)
+      | _ -> (None, 0.0)
+    in
+    let x_base =
+      match asd with
+      | S_sign_mult | S_unsign_mult -> p.Op_param.x_addr2
+      | _ -> p.Op_param.x_addr1
+    in
+    {
+      spec;
+      bank;
+      flip_stream;
+      impl =
+        Fused
+          {
+            array = Bank.array bank;
+            xreg = Bank.xreg bank;
+            c1;
+            asd;
+            shaped;
+            sigma;
+            noise_rng = A.Noise.rng (Bank.noise bank);
+            flip_rng;
+            flip_rate;
+            asd_tbl;
+            has_leak;
+            leak;
+            override_any;
+            override_on;
+            override_val;
+            acc_on;
+            acc_empty;
+            divisor;
+            w_addr = p.Op_param.w_addr;
+            x_base;
+            x_period = p.Op_param.x_prd + 1;
+            adc_gain;
+            adc_offset = Faults.adc_offset faults;
+            wbuf = Array.make Params.lanes 0.0;
+            gbuf = Array.make Params.lanes 0.0;
+            xbuf = Array.make Params.lanes 0.0;
+            sbuf = Array.make 1 0.0;
+            out1 = Array.make 1 0.0;
+          };
+    }
+  end
+
+let matches t bank ~task ~active_lanes ~adc_gain ~lane_mask =
+  t.bank == bank
+  && Task.equal t.spec.task task
+  && t.spec.active_lanes = active_lanes
+  && Float.equal t.spec.adc_gain adc_gain
+  && (match (t.spec.lane_mask, lane_mask) with
+     | None, None -> true
+     | Some a, Some b -> a == b || a = b
+     | None, Some _ | Some _, None -> false)
+  && Faults.equal t.spec.faults (Bank.faults bank)
+  (* [set_faults] re-seeds the transient stream even for an equal fault
+     record; the kernel must consume the same stream object as the
+     scalar path would *)
+  && (match (t.flip_stream, Bank.transient_rng bank) with
+     | None, None -> true
+     | Some a, Some b -> a == b
+     | None, Some _ | Some _, None -> false)
+
+(* Load the normalized X operand (with the transient single-bit-upset
+   model of [Bank.xreg_normalized] — same stream, same per-lane draw
+   order) into the [xbuf] scratch. *)
+let load_x f ~iteration =
+  let xrow =
+    Xreg.row_unsafe f.xreg ~index:((f.x_base + iteration) mod f.x_period)
+  in
+  match f.flip_rng with
+  | None ->
+      for lane = 0 to Params.lanes - 1 do
+        Array.unsafe_set f.xbuf lane
+          (float_of_int (Array.unsafe_get xrow lane) /. 128.0)
+      done
+  | Some rng ->
+      let rate = f.flip_rate in
+      for lane = 0 to Params.lanes - 1 do
+        let c = Array.unsafe_get xrow lane in
+        let c =
+          if A.Rng.float rng < rate then begin
+            let u = (c + 256) land 0xff in
+            let u = u lxor (1 lsl A.Rng.int rng 8) in
+            if u > 127 then u - 256 else u
+          end
+          else c
+        in
+        Array.unsafe_set f.xbuf lane (float_of_int c /. 128.0)
+      done
+
+(* NOTE on the inlined interpolation in the ASD loops below: it is
+   [Lut.apply_raw] spelled out (clamp, position, floor, lerp — same
+   operations, same order) because an out-of-line float-returning call
+   would box its result on every lane. The clamp is written with
+   comparisons instead of [Float.min]/[Float.max] for the same reason;
+   for every non-NaN input the result is bitwise the same, and the
+   analog chain can produce no NaN. *)
+
+let sample_into t ~iteration ~dst ~at =
+  match t.impl with
+  | Passthrough -> invalid_arg "Kernel.sample_into: kernel is not fused"
+  | Fused f ->
+      let lanes = Params.lanes in
+      let word_row = (f.w_addr + iteration) mod Params.word_rows in
+      let row = Bitcell_array.row_unsafe f.array ~word_row in
+      (* S1 aREAD: per-code table + the bank's own noise stream, drawn
+         for all 128 lanes in lane order exactly like the scalar path *)
+      (match f.noise_rng with
+      | None ->
+          for lane = 0 to lanes - 1 do
+            let code = Array.unsafe_get row lane in
+            Array.unsafe_set f.wbuf lane
+              (Array.unsafe_get f.shaped (code + 128))
+          done
+      | Some rng ->
+          (* one batched draw: consumes the stream exactly like a
+             per-lane [gaussian_scaled] loop, without boxing a float
+             per lane (the scaling below is [gaussian_scaled]'s own
+             [mu +. sigma *. g], applied after the fact) *)
+          A.Rng.gaussian_fill rng f.gbuf;
+          for lane = 0 to lanes - 1 do
+            let idx = Array.unsafe_get row lane + 128 in
+            Array.unsafe_set f.wbuf lane
+              (Array.unsafe_get f.shaped idx
+              +. (Array.unsafe_get f.sigma idx *. Array.unsafe_get f.gbuf lane))
+          done);
+      (* stuck/dead lanes override after noise, like [Faults.apply_stuck] *)
+      if f.override_any then
+        for lane = 0 to lanes - 1 do
+          if Array.unsafe_get f.override_on lane then
+            Array.unsafe_set f.wbuf lane (Array.unsafe_get f.override_val lane)
+        done;
+      (* class-1 combine with X, then idle-slot leakage *)
+      (match f.c1 with
+      | K_aread ->
+          if f.has_leak then
+            for lane = 0 to lanes - 1 do
+              Array.unsafe_set f.wbuf lane
+                (Array.unsafe_get f.wbuf lane *. f.leak)
+            done
+      | K_asubt ->
+          load_x f ~iteration;
+          for lane = 0 to lanes - 1 do
+            let v =
+              (Array.unsafe_get f.wbuf lane -. Array.unsafe_get f.xbuf lane)
+              /. 2.0
+            in
+            Array.unsafe_set f.wbuf lane
+              (if f.has_leak then v *. f.leak else v)
+          done
+      | K_aadd ->
+          load_x f ~iteration;
+          for lane = 0 to lanes - 1 do
+            let v =
+              (Array.unsafe_get f.wbuf lane +. Array.unsafe_get f.xbuf lane)
+              /. 2.0
+            in
+            Array.unsafe_set f.wbuf lane
+              (if f.has_leak then v *. f.leak else v)
+          done);
+      (* S2 aSD + S3 charge-share accumulation, fused per lane; the sum
+         runs over the membership lanes in ascending order — the same
+         subset and order as [Bank.charge_share] *)
+      Array.unsafe_set f.sbuf 0 0.0;
+      let e = f.asd_tbl in
+      let en1 = Array.length e - 1 in
+      (match f.asd with
+      | S_none ->
+          for lane = 0 to lanes - 1 do
+            if Array.unsafe_get f.acc_on lane then
+              Array.unsafe_set f.sbuf 0
+                (Array.unsafe_get f.sbuf 0 +. Array.unsafe_get f.wbuf lane)
+          done
+      | S_compare ->
+          for lane = 0 to lanes - 1 do
+            if Array.unsafe_get f.acc_on lane then begin
+              let v = Array.unsafe_get f.wbuf lane in
+              let v = if v < -1.0 then -1.0 else if v > 1.0 then 1.0 else v in
+              let pos = (v +. 1.0) /. 2.0 *. float_of_int en1 in
+              let i = int_of_float (Float.floor pos) in
+              let u =
+                if i >= en1 then Array.unsafe_get e en1
+                else
+                  let frac = pos -. float_of_int i in
+                  ((1.0 -. frac) *. Array.unsafe_get e i)
+                  +. (frac *. Array.unsafe_get e (i + 1))
+              in
+              let s = if u >= 0.0 then 1.0 else 0.0 in
+              Array.unsafe_set f.sbuf 0 (Array.unsafe_get f.sbuf 0 +. s)
+            end
+          done
+      | S_absolute ->
+          for lane = 0 to lanes - 1 do
+            if Array.unsafe_get f.acc_on lane then begin
+              let v = Array.unsafe_get f.wbuf lane in
+              let v = if v < -1.0 then -1.0 else if v > 1.0 then 1.0 else v in
+              let pos = (v +. 1.0) /. 2.0 *. float_of_int en1 in
+              let i = int_of_float (Float.floor pos) in
+              let u =
+                if i >= en1 then Array.unsafe_get e en1
+                else
+                  let frac = pos -. float_of_int i in
+                  ((1.0 -. frac) *. Array.unsafe_get e i)
+                  +. (frac *. Array.unsafe_get e (i + 1))
+              in
+              Array.unsafe_set f.sbuf 0
+                (Array.unsafe_get f.sbuf 0 +. Float.abs u)
+            end
+          done
+      | S_square ->
+          for lane = 0 to lanes - 1 do
+            if Array.unsafe_get f.acc_on lane then begin
+              let v = Array.unsafe_get f.wbuf lane in
+              let v = if v < -1.0 then -1.0 else if v > 1.0 then 1.0 else v in
+              let pos = (v +. 1.0) /. 2.0 *. float_of_int en1 in
+              let i = int_of_float (Float.floor pos) in
+              let u =
+                if i >= en1 then Array.unsafe_get e en1
+                else
+                  let frac = pos -. float_of_int i in
+                  ((1.0 -. frac) *. Array.unsafe_get e i)
+                  +. (frac *. Array.unsafe_get e (i + 1))
+              in
+              Array.unsafe_set f.sbuf 0
+                (Array.unsafe_get f.sbuf 0 +. (u *. u))
+            end
+          done
+      | S_sign_mult ->
+          load_x f ~iteration;
+          for lane = 0 to lanes - 1 do
+            if Array.unsafe_get f.acc_on lane then begin
+              let v =
+                Array.unsafe_get f.wbuf lane *. Array.unsafe_get f.xbuf lane
+              in
+              let v = if v < -1.0 then -1.0 else if v > 1.0 then 1.0 else v in
+              let pos = (v +. 1.0) /. 2.0 *. float_of_int en1 in
+              let i = int_of_float (Float.floor pos) in
+              let u =
+                if i >= en1 then Array.unsafe_get e en1
+                else
+                  let frac = pos -. float_of_int i in
+                  ((1.0 -. frac) *. Array.unsafe_get e i)
+                  +. (frac *. Array.unsafe_get e (i + 1))
+              in
+              Array.unsafe_set f.sbuf 0 (Array.unsafe_get f.sbuf 0 +. u)
+            end
+          done
+      | S_unsign_mult ->
+          load_x f ~iteration;
+          for lane = 0 to lanes - 1 do
+            if Array.unsafe_get f.acc_on lane then begin
+              let v =
+                Float.abs (Array.unsafe_get f.wbuf lane)
+                *. Float.abs (Array.unsafe_get f.xbuf lane)
+              in
+              let v = if v < -1.0 then -1.0 else if v > 1.0 then 1.0 else v in
+              let pos = (v +. 1.0) /. 2.0 *. float_of_int en1 in
+              let i = int_of_float (Float.floor pos) in
+              let u =
+                if i >= en1 then Array.unsafe_get e en1
+                else
+                  let frac = pos -. float_of_int i in
+                  ((1.0 -. frac) *. Array.unsafe_get e i)
+                  +. (frac *. Array.unsafe_get e (i + 1))
+              in
+              Array.unsafe_set f.sbuf 0 (Array.unsafe_get f.sbuf 0 +. u)
+            end
+          done);
+      let cs =
+        if f.acc_empty then 0.0 else Array.unsafe_get f.sbuf 0 /. f.divisor
+      in
+      (* ADC: [Adc.convert] inlined ([quantize] then [dequantize]) *)
+      let analog = (f.adc_gain *. cs) +. f.adc_offset in
+      let lsb = A.Adc.lsb in
+      let half = A.Adc.levels / 2 in
+      let code = int_of_float (Float.round (analog /. lsb)) + half in
+      let code =
+        if code < 0 then 0
+        else if code > A.Adc.levels - 1 then A.Adc.levels - 1
+        else code
+      in
+      dst.(at) <- float_of_int (code - half) *. lsb /. f.adc_gain
+
+let step t ~iteration =
+  match t.impl with
+  | Passthrough ->
+      Bank.run_iteration ?lane_mask:t.spec.lane_mask t.bank ~task:t.spec.task
+        ~iteration ~active_lanes:t.spec.active_lanes
+        ~adc_gain:t.spec.adc_gain
+  | Fused f ->
+      sample_into t ~iteration ~dst:f.out1 ~at:0;
+      Bank.Sample f.out1.(0)

@@ -1,0 +1,73 @@
+(** Compiled per-task iteration kernels for the analog datapath.
+
+    {!specialize} compiles a (bank, task, launch-shape) triple once,
+    hoisting out of the iteration loop everything the scalar path
+    ({!Bank.run_iteration}) recomputes every time: the effective swing
+    and its noise factor, the transfer-curve selection (pre-sampled per
+    8-bit code — exact, since the aREAD input domain is exactly the 256
+    codes), the idle-slot leakage exponential, stuck/dead lane
+    overrides, the charge-share membership set, and the ADC constants.
+    {!sample_into} then runs S1 aREAD → Class-1 combine → leakage → S2
+    aSD → S3 charge share → ADC as a single fused pass over
+    preallocated scratch buffers, allocating nothing on the minor heap
+    in the steady state — including the noise path, which draws its
+    whole lane vector through {!Promise_analog.Rng.gaussian_fill}
+    (the transient-upset path still draws per-lane and may allocate).
+
+    Bit-identity contract: for every task, profile, fault set and lane
+    mask, a fused kernel produces bitwise the same {!Bank.step} as the
+    scalar path, consuming the bank's RNG streams draw-for-draw in the
+    same order. The differential QCheck suite (test_kernels) enforces
+    this; {!Machine.execute}'s [`Reference`] mode exists to run it and
+    to debug any divergence.
+
+    Tasks whose shape is not the fused one (analog Class-1, aVD on,
+    Class-3 ADC) get a [Passthrough] kernel that simply delegates to
+    {!Bank.run_iteration}. *)
+
+type t
+
+(** [specialize ?lane_mask bank ~task ~active_lanes ~adc_gain] —
+    compile a kernel for running [task] on [bank] with this launch
+    shape. Captures the bank's current faults and RNG stream objects;
+    {!matches} reports whether a cached kernel is still valid. Raises
+    [Invalid_argument] on the same bad arguments as
+    {!Bank.run_iteration} ([active_lanes] outside [1, 128],
+    non-positive [adc_gain]). *)
+val specialize :
+  ?lane_mask:bool array ->
+  Bank.t ->
+  task:Promise_isa.Task.t ->
+  active_lanes:int ->
+  adc_gain:float ->
+  t
+
+(** [is_fused t] — [false] when the kernel is a passthrough to the
+    scalar path (non-fusable task shape). *)
+val is_fused : t -> bool
+
+(** [matches t bank ~task ~active_lanes ~adc_gain ~lane_mask] — whether
+    [t] was specialized for exactly this bank object and launch shape,
+    with the bank's faults (and its transient-upset RNG stream object —
+    {!Bank.set_faults} re-seeds it, invalidating any kernel that
+    captured the previous stream) unchanged since specialization. *)
+val matches :
+  t ->
+  Bank.t ->
+  task:Promise_isa.Task.t ->
+  active_lanes:int ->
+  adc_gain:float ->
+  lane_mask:bool array option ->
+  bool
+
+(** [sample_into t ~iteration ~dst ~at] — run one fused iteration and
+    store the digitized per-bank partial (the {!Bank.Sample} payload)
+    into [dst.(at)]. Zero minor-heap allocations in the steady state.
+    Raises [Invalid_argument] if the kernel is not fused. *)
+val sample_into : t -> iteration:int -> dst:float array -> at:int -> unit
+
+(** [step t ~iteration] — run one iteration through the kernel,
+    returning the same {!Bank.step} the scalar path would. Fused
+    kernels wrap {!sample_into}; passthrough kernels delegate to
+    {!Bank.run_iteration}. *)
+val step : t -> iteration:int -> Bank.step

@@ -12,7 +12,28 @@ type config = {
 let default_config = { banks = 4; profile = Bank.Silicon; noise_seed = Some 42 }
 let ideal_config ~banks = { banks; profile = Bank.Ideal; noise_seed = None }
 
-type t = { config : config; banks : Bank.t array; trace : Trace.t }
+type t = {
+  config : config;
+  banks : Bank.t array;
+  trace : Trace.t;
+  (* one slot per bank: the last kernel specialized for it, revalidated
+     by [Kernel.matches] on every execute (replay workloads re-launch
+     the same task, so specialization amortizes to zero) *)
+  kernel_cache : Kernel.t option array;
+}
+
+type kernel_mode = Fused | Reference
+
+let env_kernel_mode =
+  lazy
+    (match Sys.getenv_opt "PROMISE_KERNEL_MODE" with
+    | None -> Fused
+    | Some s -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "reference" | "ref" | "scalar" -> Reference
+        | _ -> Fused))
+
+let default_kernel_mode () = Lazy.force env_kernel_mode
 
 let create (config : config) =
   if config.banks < 1 || config.banks > 64 then
@@ -30,7 +51,12 @@ let create (config : config) =
     in
     Bank.create ~profile:config.profile ~noise ()
   in
-  { config; banks = Array.init config.banks make_bank; trace = Trace.create () }
+  {
+    config;
+    banks = Array.init config.banks make_bank;
+    trace = Trace.create ();
+    kernel_cache = Array.make config.banks None;
+  }
 
 let config t = t.config
 let n_banks t = Array.length t.banks
@@ -77,9 +103,7 @@ let group_banks t launch =
       "bank group exceeds machine"
   else Ok (Array.init n (fun i -> t.banks.(first + i)))
 
-let quantize_code v =
-  let code = int_of_float (Float.round (v *. 128.0)) in
-  max (-128) (min 127 code)
+let quantize_code = Promise_core.Quant.quantize8
 
 let route_emit banks launch (emit : Th_unit.emit) ~emitted ~acc_out ~xreg_out
     ~wbuf =
@@ -99,15 +123,57 @@ let route_emit banks launch (emit : Th_unit.emit) ~emitted ~acc_out ~xreg_out
 
 (* Excess pipeline stalls when some of the group's ADC units are dead:
    the discrete-event scheduler run with the reduced unit count, minus
-   its healthy-baseline stalls. Zero-cost on a healthy group. *)
-let excess_adc_stalls task ~avail =
+   its healthy-baseline stalls. Zero-cost on a healthy group.
+
+   The scheduler's output depends only on the task's stage delays
+   (TP derives from d1/d2/d4 and [uses_adc] from d3), the iteration
+   count, and the unit count — so the two simulation runs are memoized
+   on exactly that shape. Degraded campaigns launch the same few task
+   shapes thousands of times; the table stays tiny. *)
+let stall_memo : (int * int * int * int * int * int, int) Hashtbl.t =
+  Hashtbl.create 64
+
+let stall_memo_mutex = Mutex.create ()
+let stall_memo_hits = ref 0
+let stall_memo_misses = ref 0
+
+let excess_adc_stalls (task : Task.t) ~avail =
   if avail >= A.Adc.units_per_bank then 0
   else
-    let stalls units =
-      (Scheduler.run ~ideal_adc:false ~adc_units:units task)
-        .Scheduler.adc_stalls
+    let key =
+      ( Timing.class1_delay task.class1,
+        Timing.class2_delay task.class2,
+        Timing.class3_latency task.class3,
+        Timing.class4_delay task.class4,
+        Task.iterations task,
+        avail )
     in
-    max 0 (stalls avail - stalls A.Adc.units_per_bank)
+    Mutex.protect stall_memo_mutex (fun () ->
+        match Hashtbl.find_opt stall_memo key with
+        | Some excess ->
+            incr stall_memo_hits;
+            excess
+        | None ->
+            incr stall_memo_misses;
+            let stalls units =
+              (Scheduler.run ~ideal_adc:false ~adc_units:units task)
+                .Scheduler.adc_stalls
+            in
+            let excess = max 0 (stalls avail - stalls A.Adc.units_per_bank) in
+            Hashtbl.add stall_memo key excess;
+            excess)
+
+module For_tests = struct
+  let stall_memo_stats () =
+    Mutex.protect stall_memo_mutex (fun () ->
+        (!stall_memo_hits, !stall_memo_misses))
+
+  let reset_stall_memo () =
+    Mutex.protect stall_memo_mutex (fun () ->
+        Hashtbl.reset stall_memo;
+        stall_memo_hits := 0;
+        stall_memo_misses := 0)
+end
 
 (* A multi-bank task may fan its banks out across a pool only when the
    emit destination never feeds back into bank state mid-task: X-REG
@@ -118,9 +184,12 @@ let cross_bank_safe launch =
   | Opcode.Des_output_buffer | Opcode.Des_acc -> true
   | Opcode.Des_xreg | Opcode.Des_write_buffer -> false
 
-let execute ?lane_mask ?(pool = Pool.sequential) t launch =
+let execute ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t launch =
   let ( let* ) = Result.bind in
   let task = launch.task in
+  let kernel_mode =
+    match kernel_mode with Some m -> m | None -> default_kernel_mode ()
+  in
   let* () =
     match Task.validate task with
     | Ok _ -> Ok ()
@@ -146,6 +215,41 @@ let execute ?lane_mask ?(pool = Pool.sequential) t launch =
   let digital = ref [] in
   let adc_conversions = ref 0 in
   let iterations = Task.iterations task in
+  (* Fused mode: one compiled kernel per bank of the group, revalidated
+     against the per-bank cache (same bank + task + launch shape +
+     faults → reuse, so replay workloads pay specialization once). *)
+  let kernels =
+    match kernel_mode with
+    | Reference -> None
+    | Fused ->
+        let first = launch.bank_group * Task.banks task in
+        Some
+          (Array.mapi
+             (fun bi b ->
+               let slot = first + bi in
+               match t.kernel_cache.(slot) with
+               | Some k
+                 when Kernel.matches k b ~task
+                        ~active_lanes:launch.active_lanes
+                        ~adc_gain:launch.adc_gain ~lane_mask ->
+                   k
+               | Some _ | None ->
+                   let k =
+                     Kernel.specialize ?lane_mask b ~task
+                       ~active_lanes:launch.active_lanes
+                       ~adc_gain:launch.adc_gain
+                   in
+                   t.kernel_cache.(slot) <- Some k;
+                   k)
+             banks)
+  in
+  let step_bank bi b ~iteration =
+    match kernels with
+    | Some ks -> Kernel.step ks.(bi) ~iteration
+    | None ->
+        Bank.run_iteration ?lane_mask b ~task ~iteration
+          ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
+  in
   (* Parallel path: each bank runs all of its iterations on one domain
      (bank-major), which preserves the bank's private RNG draw order
      exactly as the sequential iteration-major loop would — banks never
@@ -158,47 +262,62 @@ let execute ?lane_mask ?(pool = Pool.sequential) t launch =
     then
       Some
         (Pool.map_array pool
-           (fun b ->
+           (fun bi ->
+             let b = banks.(bi) in
              let steps = Array.make iterations Bank.Idle in
              for iteration = 0 to iterations - 1 do
-               steps.(iteration) <-
-                 Bank.run_iteration ?lane_mask b ~task ~iteration
-                   ~active_lanes:launch.active_lanes
-                   ~adc_gain:launch.adc_gain
+               steps.(iteration) <- step_bank bi b ~iteration
              done;
              steps)
-           banks)
+           (Array.init n_banks_used (fun i -> i)))
     else None
   in
-  for iteration = 0 to iterations - 1 do
-    let partials = Array.make n_banks_used 0.0 in
-    let got_sample = ref false in
-    Array.iteri
-      (fun bi b ->
-        match
-          match precomputed with
-          | Some steps -> steps.(bi).(iteration)
-          | None ->
-              Bank.run_iteration ?lane_mask b ~task ~iteration
-                ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
-        with
-        | Bank.Sample s ->
-            partials.(bi) <- s;
-            got_sample := true;
-            incr adc_conversions
-        | Bank.Digital_vector v ->
-            if bi = 0 then digital := v :: !digital;
-            if Task.uses_adc task then
-              adc_conversions := !adc_conversions + launch.active_lanes
-        | Bank.Analog_vector _ | Bank.Idle -> ())
-      banks;
-    if !got_sample then
-      let combined = Crossbank.combine partials in
-      match Th_unit.push th combined with
-      | Some emit ->
-          route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
-      | None -> ()
-  done;
+  (match (precomputed, kernels) with
+  | None, Some ks when Array.for_all Kernel.is_fused ks ->
+      (* fused fast loop: the task shape guarantees every bank yields a
+         Sample every iteration, so the per-iteration scaffolding of the
+         general loop (fresh partials array, step dispatch, sample
+         detection) collapses to kernel calls into one hoisted buffer *)
+      let partials = Array.make n_banks_used 0.0 in
+      for iteration = 0 to iterations - 1 do
+        for bi = 0 to n_banks_used - 1 do
+          Kernel.sample_into ks.(bi) ~iteration ~dst:partials ~at:bi
+        done;
+        adc_conversions := !adc_conversions + n_banks_used;
+        let combined = Crossbank.combine partials in
+        match Th_unit.push th combined with
+        | Some emit ->
+            route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
+        | None -> ()
+      done
+  | _ ->
+      for iteration = 0 to iterations - 1 do
+        let partials = Array.make n_banks_used 0.0 in
+        let got_sample = ref false in
+        Array.iteri
+          (fun bi b ->
+            match
+              match precomputed with
+              | Some steps -> steps.(bi).(iteration)
+              | None -> step_bank bi b ~iteration
+            with
+            | Bank.Sample s ->
+                partials.(bi) <- s;
+                got_sample := true;
+                incr adc_conversions
+            | Bank.Digital_vector v ->
+                if bi = 0 then digital := v :: !digital;
+                if Task.uses_adc task then
+                  adc_conversions := !adc_conversions + launch.active_lanes
+            | Bank.Analog_vector _ | Bank.Idle -> ())
+          banks;
+        if !got_sample then
+          let combined = Crossbank.combine partials in
+          match Th_unit.push th combined with
+          | Some emit ->
+              route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
+          | None -> ()
+      done);
   (match Th_unit.finish th with
   | Some emit -> route_emit banks launch emit ~emitted ~acc_out ~xreg_out ~wbuf
   | None -> ());
@@ -232,14 +351,14 @@ let execute ?lane_mask ?(pool = Pool.sequential) t launch =
       record;
     }
 
-let execute_exn ?lane_mask ?pool t launch =
-  E.to_invalid_arg (execute ?lane_mask ?pool t launch)
+let execute_exn ?lane_mask ?pool ?kernel_mode t launch =
+  E.to_invalid_arg (execute ?lane_mask ?pool ?kernel_mode t launch)
 
-let run ?pool t launches =
+let run ?pool ?kernel_mode t launches =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | l :: rest -> (
-        match execute ?pool t l with
+        match execute ?pool ?kernel_mode t l with
         | Ok r -> go (r :: acc) rest
         | Error e -> Error e)
   in
@@ -263,8 +382,8 @@ let default_launch (task : Task.t) =
     dest_xreg = Params.xreg_depth - 1;
   }
 
-let run_program ?pool t (program : Program.t) =
-  run ?pool t (List.map default_launch program.Program.tasks)
+let run_program ?pool ?kernel_mode t (program : Program.t) =
+  run ?pool ?kernel_mode t (List.map default_launch program.Program.tasks)
 
 (* Scatter a dense logical slice onto the physical lanes named by
    [lane_map] (lane sparing); identity when no map. *)

@@ -19,6 +19,24 @@ val ideal_config : banks:int -> config
 
 type t
 
+(** How {!execute} runs the per-bank iteration chain.
+
+    [Fused] (the default) compiles one {!Kernel} per bank of the group
+    — a single fused pass with the swing/noise/LUT/leakage/fault
+    constants hoisted out of the loop and pre-sampled per 8-bit code,
+    running into preallocated scratch (no steady-state allocations) —
+    and caches it on the machine, revalidating per execute.
+    [Reference] is the original scalar path ({!Bank.run_iteration}).
+    The two are bit-identical on every task, profile, fault set and
+    lane mask (the differential QCheck suite enforces it); [Reference]
+    exists as the oracle for that suite and for debugging. *)
+type kernel_mode = Fused | Reference
+
+(** The session default: [Reference] when the [PROMISE_KERNEL_MODE]
+    environment variable is ["reference"] (or ["ref"]/["scalar"]),
+    [Fused] otherwise. Read once, lazily. *)
+val default_kernel_mode : unit -> kernel_mode
+
 val create : config -> t
 val config : t -> config
 val n_banks : t -> int
@@ -59,26 +77,35 @@ type result = {
     group out across domains, bank-major; because every bank draws from
     its own split RNG stream and X-REG/write-buffer destinations stay
     on the sequential path, results are bit-identical at any job count.
-    [Error] (typed, layer ["machine"]) when the task fails validation,
-    the bank group exceeds the machine, or every ADC unit of the group
-    is dead. *)
+    [kernel_mode] (default {!default_kernel_mode}) selects the fused
+    compiled-kernel datapath or the scalar reference path — also
+    bit-identical by contract. [Error] (typed, layer ["machine"]) when
+    the task fails validation, the bank group exceeds the machine, or
+    every ADC unit of the group is dead. *)
 val execute :
   ?lane_mask:bool array ->
   ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
   t ->
   launch ->
   (result, Promise_core.Error.t) Stdlib.result
 
-(** [execute_exn ?lane_mask ?pool t launch] — {!execute}, raising
-    [Invalid_argument] with the rendered error (assembler-level paths
-    and tests). *)
+(** [execute_exn ?lane_mask ?pool ?kernel_mode t launch] — {!execute},
+    raising [Invalid_argument] with the rendered error (assembler-level
+    paths and tests). *)
 val execute_exn :
-  ?lane_mask:bool array -> ?pool:Promise_core.Pool.t -> t -> launch -> result
+  ?lane_mask:bool array ->
+  ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
+  t ->
+  launch ->
+  result
 
-(** [run ?pool t launches] — execute in order; stops at the first
-    error. *)
+(** [run ?pool ?kernel_mode t launches] — execute in order; stops at
+    the first error. *)
 val run :
   ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
   t ->
   launch list ->
   (result list, Promise_core.Error.t) Stdlib.result
@@ -95,9 +122,22 @@ val default_launch : Promise_isa.Task.t -> launch
     metadata needed); stops at the first error. *)
 val run_program :
   ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
   t ->
   Promise_isa.Program.t ->
   (result list, Promise_core.Error.t) Stdlib.result
+
+(** {2 Test hooks} *)
+
+module For_tests : sig
+  (** [(hits, misses)] of the degraded-ADC stall memo: the
+      discrete-event {!Scheduler} pair behind the excess-stall
+      accounting is keyed on (stage delays × iterations × available
+      units) and cached process-wide. *)
+  val stall_memo_stats : unit -> int * int
+
+  val reset_stall_memo : unit -> unit
+end
 
 (** {2 Data staging} *)
 

@@ -30,6 +30,10 @@ let get t ~index =
   check_index index;
   Array.copy t.vectors.(index)
 
+let row_unsafe t ~index =
+  check_index index;
+  t.vectors.(index)
+
 let get_normalized t ~index =
   check_index index;
   Array.map (fun c -> float_of_int c /. 128.0) t.vectors.(index)

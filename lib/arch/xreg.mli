@@ -16,6 +16,13 @@ val load : t -> index:int -> int array -> unit
 (** [get t ~index] — the stored codes. *)
 val get : t -> index:int -> int array
 
+(** [row_unsafe t ~index] — the live lane array itself, NOT a copy:
+    read-only for the caller, and staged writes ({!stage_element},
+    {!load}) show through immediately — exactly the visibility the
+    sequential iteration loop has. Used by the fused iteration kernels
+    ({!Kernel}); everything else should use {!get}. *)
+val row_unsafe : t -> index:int -> int array
+
 (** [get_normalized t ~index] — stored codes as normalized reals
     (ideal DAC). *)
 val get_normalized : t -> index:int -> float array

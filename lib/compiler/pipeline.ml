@@ -129,6 +129,6 @@ let compile_to_binary kernel =
         Swing_opt.search_space_size ~tasks:(Promise_ir.Graph.n_tasks graph);
     }
 
-let run ?machine ?recovery ?pool kernel bindings =
+let run ?machine ?recovery ?pool ?kernel_mode kernel bindings =
   let* graph = compile kernel in
-  Runtime.run ?machine ?recovery ?pool graph bindings
+  Runtime.run ?machine ?recovery ?pool ?kernel_mode graph bindings

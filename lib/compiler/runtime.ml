@@ -347,8 +347,8 @@ let allowed_groups ~excluded ~(plan : Layout.plan) ~groups =
   in
   List.filter ok (List.init max_group (fun g -> g))
 
-let run_task ?pool machine ~(recovery : recovery option) ~counters (at : At.t)
-    ~terminal ~w ~x_opt ~original_n =
+let run_task ?pool ?kernel_mode machine ~(recovery : recovery option)
+    ~counters (at : At.t) ~terminal ~w ~x_opt ~original_n =
   let* () =
     match x_opt with
     | Some x
@@ -491,7 +491,9 @@ let run_task ?pool machine ~(recovery : recovery option) ~counters (at : At.t)
                      Opcode.Des_output_buffer
               in
               if not checked then
-                let* result = Machine.execute ?lane_mask ?pool machine launch in
+                let* result =
+                  Machine.execute ?lane_mask ?pool ?kernel_mode machine launch
+                in
                 Ok (`Accepted result)
               else
                 let r = Option.get recovery in
@@ -500,7 +502,8 @@ let run_task ?pool machine ~(recovery : recovery option) ~counters (at : At.t)
                 in
                 let rec attempt tries =
                   let* result =
-                    Machine.execute ?lane_mask ?pool machine launch
+                    Machine.execute ?lane_mask ?pool ?kernel_mode machine
+                      launch
                   in
                   if
                     canary_ok ~tolerance:r.canary_tolerance
@@ -592,7 +595,7 @@ let run_task ?pool machine ~(recovery : recovery option) ~counters (at : At.t)
   | At.Do_none | At.Do_sigmoid | At.Do_relu | At.Do_threshold ->
       Ok { values; decision = None }
 
-let run ?machine ?recovery ?pool g b =
+let run ?machine ?recovery ?pool ?kernel_mode g b =
   let machine =
     match machine with
     | Some m -> m
@@ -621,8 +624,8 @@ let run ?machine ?recovery ?pool g b =
         in
         let terminal = Graph.successors g id = [] in
         let* out =
-          run_task ?pool machine ~recovery ~counters at ~terminal ~w ~x_opt
-            ~original_n
+          run_task ?pool ?kernel_mode machine ~recovery ~counters at ~terminal
+            ~w ~x_opt ~original_n
         in
         Hashtbl.replace outputs id out;
         Ok (id :: ids))

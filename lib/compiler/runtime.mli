@@ -96,13 +96,17 @@ val required_banks : ?max_lanes:int -> Promise_ir.Graph.t -> int
     [stats.fallbacks]) instead of failing; with fallback off this is a
     typed [Capacity] error. [pool] fans multi-bank task execution out
     across domains ({!Promise_arch.Machine.execute}); results are
-    bit-identical at any job count. Errors are typed
-    ({!Promise_core.Error.t}, layer ["runtime"] or ["compiler"]);
-    unrecoverable canary misses surface as [Retry_exhausted]. *)
+    bit-identical at any job count. [kernel_mode] selects the fused
+    compiled-kernel datapath or the scalar reference path
+    ({!Promise_arch.Machine.kernel_mode}; also bit-identical). Errors
+    are typed ({!Promise_core.Error.t}, layer ["runtime"] or
+    ["compiler"]); unrecoverable canary misses surface as
+    [Retry_exhausted]. *)
 val run :
   ?machine:Promise_arch.Machine.t ->
   ?recovery:recovery ->
   ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:Promise_arch.Machine.kernel_mode ->
   Promise_ir.Graph.t ->
   bindings ->
   (run_result, Promise_core.Error.t) result

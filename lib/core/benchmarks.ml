@@ -39,6 +39,7 @@ type t = {
     ?recovery:Runtime.recovery ->
     ?banks:int ->
     ?pool:Promise_core.Pool.t ->
+    ?kernel_mode:Machine.kernel_mode ->
     swings:int list ->
     unit ->
     eval;
@@ -70,8 +71,8 @@ let apply_swings g swings =
 let silicon_machine ?(profile = Bank.Silicon) ~banks ~seed () =
   Machine.create { Machine.banks; profile; noise_seed = Some seed }
 
-let run_exn ?recovery ?pool machine g b =
-  match Runtime.run ~machine ?recovery ?pool g b with
+let run_exn ?recovery ?pool ?kernel_mode machine g b =
+  match Runtime.run ~machine ?recovery ?pool ?kernel_mode g b with
   | Ok r -> r
   | Error e -> invalid_arg ("benchmark run failed: " ^ err_string e)
 
@@ -83,7 +84,7 @@ let run_exn ?recovery ?pool machine g b =
 let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
     ~decide ~reference_accuracy =
  fun ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery ?banks ?pool
-     ~swings () ->
+     ?kernel_mode ~swings () ->
   let g = apply_swings graph swings in
   let banks =
     match banks with Some b -> b | None -> Runtime.required_banks g
@@ -96,7 +97,7 @@ let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
       let b = Runtime.bindings () in
       bind_static b;
       bind_query b q;
-      let r = run_exn ?recovery ?pool machine g b in
+      let r = run_exn ?recovery ?pool ?kernel_mode machine g b in
       if decide r = labels.(i) then incr correct)
     queries;
   let promise_accuracy =
@@ -516,7 +517,7 @@ let pca =
       (* Accuracy proxy for a non-classifier: 1 − mean relative feature
          error against the float reference. *)
       let feature_fidelity ?(seed = 42) ?(profile = Bank.Silicon) ?prepare
-          ?recovery ?banks ?pool ~swings () =
+          ?recovery ?banks ?pool ?kernel_mode ~swings () =
         let g = apply_swings graph swings in
         let banks =
           match banks with Some b -> b | None -> Runtime.required_banks g
@@ -531,7 +532,9 @@ let pca =
             let b = Runtime.bindings () in
             Runtime.bind_matrix b "W" model.Ml.Pca.components;
             Runtime.bind_vector b "x" centered;
-            let got = final_values (run_exn ?recovery ?pool machine g b) in
+            let got =
+              final_values (run_exn ?recovery ?pool ?kernel_mode machine g b)
+            in
             let scale = Float.max 1e-6 (Ml.Linalg.max_abs reference) in
             let err =
               Ml.Linalg.max_abs (Ml.Linalg.sub got reference) /. scale
@@ -613,7 +616,7 @@ let linreg =
         | _ -> invalid_arg "linreg: expected four statistics"
       in
       let evaluate ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery
-          ?banks ?pool ~swings () =
+          ?banks ?pool ?kernel_mode ~swings () =
         let g = apply_swings graph swings in
         let banks =
           match banks with Some b -> b | None -> Runtime.required_banks g
@@ -622,7 +625,9 @@ let linreg =
         (match prepare with Some f -> f machine | None -> ());
         let b = Runtime.bindings () in
         bind b;
-        let fit = fit_of_run (run_exn ?recovery ?pool machine g b) in
+        let fit =
+          fit_of_run (run_exn ?recovery ?pool ?kernel_mode machine g b)
+        in
         let rel a b = Float.abs (a -. b) /. Float.max 0.05 (Float.abs b) in
         let err =
           Float.max

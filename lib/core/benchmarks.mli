@@ -38,6 +38,7 @@ type t = {
     ?recovery:Promise_compiler.Runtime.recovery ->
     ?banks:int ->
     ?pool:Promise_core.Pool.t ->
+    ?kernel_mode:Promise_arch.Machine.kernel_mode ->
     swings:int list ->
     unit ->
     eval;
@@ -49,7 +50,8 @@ type t = {
           graceful-degradation path; [banks] overrides the machine
           size (sparing lanes shrinks per-bank capacity); [pool]
           parallelizes multi-bank task execution (bit-identical at any
-          job count). *)
+          job count); [kernel_mode] selects the fused or reference
+          analog datapath (also bit-identical). *)
   stats : Promise_compiler.Precision.stats option;
       (** Sakr back-prop statistics (DNNs only) *)
 }

@@ -46,6 +46,7 @@ module Arch = struct
   module Crossbank = Promise_arch.Crossbank
   module Layout = Promise_arch.Layout
   module Machine = Promise_arch.Machine
+  module Kernel = Promise_arch.Kernel
   module Trace = Promise_arch.Trace
   module Scheduler = Promise_arch.Scheduler
   module Faults = Promise_arch.Faults
@@ -99,6 +100,7 @@ end
 
 module Error = Promise_core.Error
 module Pool = Promise_core.Pool
+module Quant = Promise_core.Quant
 module Benchmarks = Benchmarks
 module Report = Report
 module Validation = Validation

@@ -1,11 +1,7 @@
-let bits = 8
-let scale = 128.0
-
-let quantize v =
-  let code = int_of_float (Float.round (v *. scale)) in
-  max (-128) (min 127 code)
-
-let dequantize code = float_of_int code /. scale
+let bits = Promise_core.Quant.bits
+let scale = Promise_core.Quant.scale
+let quantize = Promise_core.Quant.quantize8
+let dequantize = Promise_core.Quant.dequantize8
 let quantize_vec = Array.map quantize
 let dequantize_vec = Array.map dequantize
 let quantize_mat = Array.map quantize_vec
