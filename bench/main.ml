@@ -285,45 +285,143 @@ let run_kernels_bench ~quick =
 (* Main                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+type cli = {
+  jobs : int option;
+  quick : bool;
+  parallel : bool;
+  kernels : bool;
+  checkpoint : string option;
+  resume : bool;
+  incidents : string option;
+  names : string list;
+}
+
+(* every flag value goes through the typed validators: `bench --jobs
+   fuor` dies with the same structured error a bad PROMISE_JOBS does,
+   instead of an int_of_string backtrace *)
+let parse_args args =
+  let ( let* ) = Result.bind in
+  let missing flag =
+    Error
+      (P.Error.make ~layer:"cli" ~code:P.Error.Invalid_operand
+         (flag ^ " needs a value")
+         ~context:[ ("flag", flag) ])
+  in
+  let rec parse acc = function
+    | [] -> Ok { acc with names = List.rev acc.names }
+    | "--quick" :: rest -> parse { acc with quick = true } rest
+    | "--parallel" :: rest -> parse { acc with parallel = true } rest
+    | "--kernels" :: rest -> parse { acc with kernels = true } rest
+    | [ "--jobs" ] | [ "-j" ] -> missing "--jobs"
+    | ("--jobs" | "-j") :: n :: rest ->
+        let* n = P.Validate.int_in_range ~what:"--jobs" ~min:1 ~max:64 n in
+        parse { acc with jobs = Some n } rest
+    | [ "--checkpoint" ] -> missing "--checkpoint"
+    | "--checkpoint" :: file :: rest ->
+        parse { acc with checkpoint = Some file } rest
+    | "--resume" :: rest -> parse { acc with resume = true } rest
+    | [ "--incidents" ] -> missing "--incidents"
+    | "--incidents" :: file :: rest ->
+        parse { acc with incidents = Some file } rest
+    | s :: rest -> parse { acc with names = s :: acc.names } rest
+  in
+  let* cli =
+    parse
+      {
+        jobs = None;
+        quick = false;
+        parallel = false;
+        kernels = false;
+        checkpoint = None;
+        resume = false;
+        incidents = None;
+        names = [];
+      }
+      args
+  in
+  let* () = P.check_env () in
+  if cli.resume && cli.checkpoint = None then
+    Error
+      (P.Error.make ~layer:"cli" ~code:P.Error.Invalid_operand
+         "--resume needs --checkpoint FILE to resume from"
+         ~context:[ ("flag", "--resume") ])
+  else Ok cli
+
+(* The report part of the harness runs supervised: `bench --checkpoint
+   state.ckpt` survives SIGINT/SIGTERM mid-evaluation and `--resume`
+   picks up with the already-rendered sections from the checkpoint —
+   the printed report stays byte-identical to an uninterrupted run. *)
+let run_report cli =
+  let jobs = Option.value cli.jobs ~default:1 in
+  Format.fprintf ppf
+    "PROMISE reproduction harness - every table and figure of the \
+     evaluation@.";
+  let names =
+    match cli.names with
+    | [] -> if cli.quick then P.Report.quick_names () else P.Report.all_names ()
+    | names ->
+        List.filter
+          (fun name ->
+            let known =
+              List.exists (fun (n, _, _) -> n = name) P.Report.sections
+            in
+            if not known then
+              Format.fprintf ppf "unknown section %S; available: %s@." name
+                (String.concat ", "
+                   (List.map (fun (n, _, _) -> n) P.Report.sections));
+            known)
+          names
+  in
+  let incidents =
+    match cli.incidents with
+    | None -> Ok P.Incident.null
+    | Some path -> P.Incident.to_file path
+  in
+  match incidents with
+  | Error e ->
+      prerr_endline (P.Error.to_string e);
+      exit 2
+  | Ok incidents ->
+      let stop = P.Supervisor.install_stop_signals () in
+      let sup = P.Supervisor.config ~incidents () in
+      let session =
+        P.Supervisor.session ~sup ?checkpoint:cli.checkpoint
+          ~resume:cli.resume ~stop ()
+      in
+      let outcome =
+        P.Pool.with_pool ~jobs (fun pool ->
+            P.Report.run_sections_supervised ~pool session ppf names)
+      in
+      Format.pp_print_flush ppf ();
+      P.Incident.close incidents;
+      (match outcome with
+      | P.Report.Sections_interrupted { completed; total } ->
+          Format.eprintf
+            "interrupted at %d/%d sections; resume with: bench --checkpoint \
+             %s --resume@."
+            completed total
+            (Option.value cli.checkpoint ~default:"FILE");
+          exit
+            (match P.Supervisor.stop_signal stop with
+            | Some s when s = Sys.sigterm -> 143
+            | _ -> 130)
+      | P.Report.Sections_rejected e ->
+          prerr_endline (P.Error.to_string e);
+          exit 2
+      | P.Report.Sections_done { quarantined } ->
+          if quarantined > 0 then
+            Format.eprintf "%d sections were quarantined@." quarantined);
+      run_micro ();
+      Format.fprintf ppf "@.done.@."
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse jobs quick par ker names = function
-    | [] -> (jobs, quick, par, ker, List.rev names)
-    | "--quick" :: rest -> parse jobs true par ker names rest
-    | "--parallel" :: rest -> parse jobs quick true ker names rest
-    | "--kernels" :: rest -> parse jobs quick par true names rest
-    | "--jobs" :: n :: rest ->
-        parse (Some (int_of_string n)) quick par ker names rest
-    | s :: rest -> parse jobs quick par ker (s :: names) rest
-  in
-  let jobs, quick, parallel, kernels, names = parse None false false false [] args in
-  if kernels then run_kernels_bench ~quick
-  else if parallel then run_parallel_bench ~jobs:(Option.value jobs ~default:4)
-  else begin
-    let jobs = Option.value jobs ~default:1 in
-    Format.fprintf ppf
-      "PROMISE reproduction harness - every table and figure of the \
-       evaluation@.";
-    P.Pool.with_pool ~jobs (fun pool ->
-        match names with
-        | [] -> if quick then P.Report.quick ~pool ppf else P.Report.all ~pool ppf
-        | names ->
-            let fns =
-              List.filter_map
-                (fun name ->
-                  match
-                    List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
-                  with
-                  | Some (_, _, f) -> Some f
-                  | None ->
-                      Format.fprintf ppf
-                        "unknown section %S; available: %s@." name
-                        (String.concat ", "
-                           (List.map (fun (n, _, _) -> n) P.Report.sections));
-                      None)
-                names
-            in
-            P.Report.print_sections ~pool ppf fns);
-    run_micro ();
-    Format.fprintf ppf "@.done.@."
-  end
+  match parse_args args with
+  | Error e ->
+      prerr_endline (P.Error.to_string e);
+      exit 2
+  | Ok cli ->
+      if cli.kernels then run_kernels_bench ~quick:cli.quick
+      else if cli.parallel then
+        run_parallel_bench ~jobs:(Option.value cli.jobs ~default:4)
+      else run_report cli

@@ -1,4 +1,4 @@
-(* promise-faultsim: the fault-injection campaign.
+(* promise-faultsim: the fault-injection campaign, run supervised.
 
    Injects hard-fault scenarios (stuck/dead lanes, dead banks, dead
    ADC units, ADC offset, X-REG transients, swing drift, excess
@@ -7,20 +7,104 @@
    under the BIST-derived recovery, and prints the detection /
    recovery / residual-accuracy table.
 
-   Usage: promise_faultsim [--quick] [--jobs N] *)
+   The campaign is a first-class long-running job: progress is
+   checkpointed atomically (--checkpoint, resume with --resume),
+   SIGINT/SIGTERM flush a final checkpoint instead of losing the run,
+   per-cell deadlines (--timeout-ms) retry with seeded backoff
+   (--max-retries, --seed) and quarantine exhausted cells without
+   aborting their siblings, and every supervision event lands in a
+   JSONL incident log (--incidents).
+
+   Usage: promise_faultsim [--quick] [--jobs N] [--checkpoint FILE]
+                           [--resume] [--incidents FILE] [--timeout-ms T]
+                           [--max-retries R] [--seed S] [--max-residual K] *)
 
 module P = Promise
 open Cmdliner
 
-let run quick jobs =
-  if jobs < 1 || jobs > 64 then `Error (false, "--jobs must be in 1..64")
-  else
-    let ppf = Format.std_formatter in
-    let ok =
-      P.Pool.with_pool ~jobs (fun pool -> P.Campaign.report ~quick ~pool ppf)
-    in
-    if ok then `Ok ()
-    else `Error (false, "campaign detected unrecovered faults")
+(* A cmdliner conv over the typed validator: junk reports the same
+   structured Error.t a PROMISE_* env-var failure does. *)
+let validated_int ~what ~min ~max =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.int_in_range ~what ~min ~max s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_int )
+
+let validated_float_ms ~what =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.non_negative_float ~what s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      (fun ppf v -> Format.fprintf ppf "%g" v) )
+
+let exit_code_of_signal stop =
+  match P.Supervisor.stop_signal stop with
+  | Some s when s = Sys.sigterm -> 143
+  | Some s when s = Sys.sigint -> 130
+  | _ -> 130
+
+let run quick jobs seed timeout_ms max_retries max_residual checkpoint resume
+    incidents_path =
+  match P.check_env () with
+  | Error e -> `Error (false, P.Error.to_string e)
+  | Ok () when resume && checkpoint = None ->
+      `Error (false, "--resume needs --checkpoint FILE to resume from")
+  | Ok () -> (
+      let incidents_r =
+        match incidents_path with
+        | None -> Ok P.Incident.null
+        | Some path -> P.Incident.to_file path
+      in
+      let retry_r = P.Retry.policy ~max_attempts:(max_retries + 1) ~seed () in
+      match (incidents_r, retry_r) with
+      | Error e, _ | _, Error e -> `Error (false, P.Error.to_string e)
+      | Ok incidents, Ok retry ->
+          let stop = P.Supervisor.install_stop_signals () in
+          let sup = P.Supervisor.config ?timeout_ms ~retry ~incidents () in
+          let session =
+            P.Supervisor.session ~sup ?checkpoint ~resume ~stop ()
+          in
+          let on_checkpoint ~completed ~total =
+            (* stderr: the stdout table must stay diffable *)
+            Format.eprintf "checkpoint: %d/%d cells -> %s@." completed total
+              (Option.value checkpoint ~default:"-")
+          in
+          let ppf = Format.std_formatter in
+          let outcome =
+            P.Pool.with_pool ~jobs (fun pool ->
+                P.Campaign.report_supervised ~quick ~pool ~on_checkpoint
+                  session ppf)
+          in
+          Format.pp_print_flush ppf ();
+          P.Incident.close incidents;
+          (match outcome with
+          | P.Campaign.Interrupted { completed; total } ->
+              Format.eprintf
+                "interrupted at %d/%d cells; resume with: promise-faultsim%s \
+                 --checkpoint %s --resume@."
+                completed total
+                (if quick then " --quick" else "")
+                (Option.value checkpoint ~default:"FILE");
+              Stdlib.exit (exit_code_of_signal stop)
+          | P.Campaign.Rejected e -> `Error (false, P.Error.to_string e)
+          | P.Campaign.Completed results ->
+              let s = P.Campaign.summarize_results results in
+              if s.P.Campaign.undetected > 0 then
+                `Error
+                  ( false,
+                    Printf.sprintf "campaign missed faults in %d cells"
+                      s.P.Campaign.undetected )
+              else if s.P.Campaign.residual_errors > max_residual then
+                `Error
+                  ( false,
+                    Printf.sprintf
+                      "%d residual (unrecovered or quarantined) errors \
+                       exceed --max-residual %d"
+                      s.P.Campaign.residual_errors max_residual )
+              else `Ok ()))
 
 let quick_arg =
   Arg.(
@@ -32,15 +116,89 @@ let quick_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value
+    & opt (validated_int ~what:"--jobs" ~min:1 ~max:64) 1
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Fan the campaign cells out across $(docv) domains. The table is \
            bit-identical at any job count.")
 
+let seed_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--seed" ~min:0 ~max:max_int) 0
+    & info [ "seed" ] ~docv:"S"
+        ~doc:
+          "Seed of the retry-backoff jitter stream: reruns replay the exact \
+           same waits.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some (validated_float_ms ~what:"--timeout-ms")) None
+    & info [ "timeout-ms" ] ~docv:"T"
+        ~doc:
+          "Per-cell deadline in milliseconds. An overdue cell is logged by \
+           the watchdog, retried with backoff, and finally quarantined — \
+           sibling cells are unaffected. Off by default (deadlines make \
+           results depend on machine speed).")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--max-retries" ~min:0 ~max:16) 0
+    & info [ "max-retries" ] ~docv:"R"
+        ~doc:
+          "Retries per cell after its first failure (exponential backoff \
+           with deterministic jitter).")
+
+let max_residual_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--max-residual" ~min:0 ~max:max_int) 0
+    & info [ "max-residual" ] ~docv:"K"
+        ~doc:
+          "Exit nonzero when more than $(docv) cells end unrecovered or \
+           quarantined — the CI gate.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Atomically persist campaign progress to $(docv) after every \
+           chunk; a completed run removes the file.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from --checkpoint FILE. A checkpoint written by a \
+           different configuration is rejected, not silently resumed.")
+
+let incidents_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incidents" ] ~docv:"FILE"
+        ~doc:
+          "Append a JSONL incident log (timeouts, retries, quarantines, \
+           checkpoint writes, signal flushes) to $(docv).")
+
 let () =
   let info =
     Cmd.info "promise-faultsim" ~version:P.version
-      ~doc:"fault-injection campaign: detection, recovery, residual accuracy"
+      ~doc:
+        "fault-injection campaign: detection, recovery, residual accuracy — \
+         supervised, checkpointed, resumable"
   in
-  exit (Cmd.eval (Cmd.v info Term.(ret (const run $ quick_arg $ jobs_arg))))
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            ret
+              (const run $ quick_arg $ jobs_arg $ seed_arg $ timeout_arg
+             $ max_retries_arg $ max_residual_arg $ checkpoint_arg
+             $ resume_arg $ incidents_arg))))

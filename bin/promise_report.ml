@@ -1,39 +1,112 @@
 (* promise-report: regenerate the paper's tables and figures as text
-   (the same sections the bench harness prints).
+   (the same sections the bench harness prints), supervised.
 
-   Usage: promise_report [--quick] [--jobs N] [SECTION ...] *)
+   Sections render as supervised work items: progress survives SIGINT
+   / SIGTERM via --checkpoint/--resume, a section that blows its
+   --timeout-ms deadline or keeps failing is quarantined (its slot in
+   the report says so) instead of killing the whole regeneration, and
+   --incidents records the JSONL audit trail.
+
+   Usage: promise_report [--quick] [--jobs N] [--checkpoint FILE]
+                         [--resume] [--incidents FILE] [--timeout-ms T]
+                         [--max-retries R] [--seed S] [SECTION ...] *)
 
 module P = Promise
 open Cmdliner
 
-let run quick jobs sections =
-  if jobs < 1 || jobs > 64 then
-    `Error (false, "--jobs must be in 1..64")
-  else begin
-    let ppf = Format.std_formatter in
-    P.Pool.with_pool ~jobs (fun pool ->
+let validated_int ~what ~min ~max =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.int_in_range ~what ~min ~max s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_int )
+
+let validated_float_ms ~what =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.non_negative_float ~what s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      (fun ppf v -> Format.fprintf ppf "%g" v) )
+
+let exit_code_of_signal stop =
+  match P.Supervisor.stop_signal stop with
+  | Some s when s = Sys.sigterm -> 143
+  | Some s when s = Sys.sigint -> 130
+  | _ -> 130
+
+let run quick jobs seed timeout_ms max_retries checkpoint resume
+    incidents_path sections =
+  match P.check_env () with
+  | Error e -> `Error (false, P.Error.to_string e)
+  | Ok () when resume && checkpoint = None ->
+      `Error (false, "--resume needs --checkpoint FILE to resume from")
+  | Ok () -> (
+      let ppf = Format.std_formatter in
+      (* resolve the section list up front, warning on unknown names
+         exactly like the unsupervised CLI did *)
+      let names =
         match (quick, sections) with
-        | true, _ -> P.Report.quick ~pool ppf
-        | false, [] -> P.Report.all ~pool ppf
+        | true, _ -> P.Report.quick_names ()
+        | false, [] -> P.Report.all_names ()
         | false, names ->
-            let fns =
-              List.filter_map
-                (fun name ->
-                  match
-                    List.find_opt (fun (n, _, _) -> n = name) P.Report.sections
-                  with
-                  | Some (_, _, f) -> Some f
-                  | None ->
-                      Format.fprintf ppf
-                        "unknown section %S; available: %s@." name
-                        (String.concat ", "
-                           (List.map (fun (n, _, _) -> n) P.Report.sections));
-                      None)
-                names
-            in
-            P.Report.print_sections ~pool ppf fns);
-    `Ok ()
-  end
+            List.filter
+              (fun name ->
+                let known =
+                  List.exists (fun (n, _, _) -> n = name) P.Report.sections
+                in
+                if not known then
+                  Format.fprintf ppf "unknown section %S; available: %s@."
+                    name
+                    (String.concat ", "
+                       (List.map (fun (n, _, _) -> n) P.Report.sections));
+                known)
+              names
+      in
+      let incidents_r =
+        match incidents_path with
+        | None -> Ok P.Incident.null
+        | Some path -> P.Incident.to_file path
+      in
+      let retry_r = P.Retry.policy ~max_attempts:(max_retries + 1) ~seed () in
+      match (incidents_r, retry_r) with
+      | Error e, _ | _, Error e -> `Error (false, P.Error.to_string e)
+      | Ok incidents, Ok retry ->
+          let stop = P.Supervisor.install_stop_signals () in
+          let sup = P.Supervisor.config ?timeout_ms ~retry ~incidents () in
+          let session =
+            P.Supervisor.session ~sup ?checkpoint ~resume ~stop ()
+          in
+          let on_checkpoint ~completed ~total =
+            Format.eprintf "checkpoint: %d/%d sections -> %s@." completed
+              total
+              (Option.value checkpoint ~default:"-")
+          in
+          let outcome =
+            P.Pool.with_pool ~jobs (fun pool ->
+                P.Report.run_sections_supervised ~pool ~on_checkpoint session
+                  ppf names)
+          in
+          Format.pp_print_flush ppf ();
+          P.Incident.close incidents;
+          (match outcome with
+          | P.Report.Sections_interrupted { completed; total } ->
+              Format.eprintf
+                "interrupted at %d/%d sections; resume with: promise-report \
+                 --checkpoint %s --resume@."
+                completed total
+                (Option.value checkpoint ~default:"FILE");
+              Stdlib.exit (exit_code_of_signal stop)
+          | P.Report.Sections_rejected e ->
+              `Error (false, P.Error.to_string e)
+          | P.Report.Sections_done { quarantined } ->
+              if quarantined > 0 then
+                `Error
+                  ( false,
+                    Printf.sprintf "%d sections were quarantined" quarantined
+                  )
+              else `Ok ()))
 
 let quick_arg =
   Arg.(
@@ -42,11 +115,53 @@ let quick_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value
+    & opt (validated_int ~what:"--jobs" ~min:1 ~max:64) 1
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Render sections and fan simulations out across $(docv) domains. \
            Output is bit-identical at any job count.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--seed" ~min:0 ~max:max_int) 0
+    & info [ "seed" ] ~docv:"S" ~doc:"Retry-backoff jitter seed.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some (validated_float_ms ~what:"--timeout-ms")) None
+    & info [ "timeout-ms" ] ~docv:"T"
+        ~doc:
+          "Per-section deadline in milliseconds; overdue sections are \
+           retried and finally quarantined.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--max-retries" ~min:0 ~max:16) 0
+    & info [ "max-retries" ] ~docv:"R"
+        ~doc:"Retries per section after its first failure.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Atomically persist rendered sections to $(docv).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ] ~doc:"Resume from --checkpoint FILE.")
+
+let incidents_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incidents" ] ~docv:"FILE"
+        ~doc:"Append the JSONL incident log to $(docv).")
 
 let sections_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"SECTION"
@@ -55,9 +170,15 @@ let sections_arg =
 let () =
   let info =
     Cmd.info "promise-report" ~version:P.version
-      ~doc:"regenerate the paper's evaluation tables and figures"
+      ~doc:
+        "regenerate the paper's evaluation tables and figures — supervised, \
+         checkpointed, resumable"
   in
   exit
     (Cmd.eval
        (Cmd.v info
-          Term.(ret (const run $ quick_arg $ jobs_arg $ sections_arg))))
+          Term.(
+            ret
+              (const run $ quick_arg $ jobs_arg $ seed_arg $ timeout_arg
+             $ max_retries_arg $ checkpoint_arg $ resume_arg $ incidents_arg
+             $ sections_arg))))

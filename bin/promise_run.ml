@@ -25,14 +25,14 @@ let benchmarks =
   ]
 
 let run name swing pm optimize jobs kernel_mode =
-  match List.assoc_opt name benchmarks with
-  | None ->
+  match (P.check_env (), List.assoc_opt name benchmarks) with
+  | Error e, _ -> `Error (false, P.Error.to_string e)
+  | Ok (), None ->
       `Error
         ( false,
           Printf.sprintf "unknown benchmark %S; try one of: %s" name
             (String.concat ", " (List.map fst benchmarks)) )
-  | Some _ when jobs < 1 || jobs > 64 -> `Error (false, "--jobs must be in 1..64")
-  | Some build ->
+  | Ok (), Some build ->
       P.Pool.with_pool ~jobs @@ fun pool ->
       let b = build () in
       Printf.printf "benchmark: %s\n" b.B.name;
@@ -91,9 +91,17 @@ let optimize_arg =
     value & flag
     & info [ "optimize" ] ~doc:"Run the compiler swing optimization.")
 
+let jobs_conv =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.int_in_range ~what:"--jobs" ~min:1 ~max:64 s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_int )
+
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt jobs_conv 1
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Fan the per-bank simulation and swing search out across $(docv) \

@@ -1,0 +1,89 @@
+let magic = "PROMISE-CKPT"
+let format_version = 1
+
+(* Bumped together with the library; folded into every digest so a
+   checkpoint never survives a version boundary. *)
+let library_tag = "promise-checkpoint-v1"
+
+let digest_of_config ~kind parts =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" (library_tag :: kind :: parts)))
+
+let fail ~code ~path msg =
+  Error.fail ~layer:"checkpoint" ~code ~context:[ ("path", path) ] msg
+
+let tmp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let save ~path ~config_digest payload =
+  let tmp = tmp_path path in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_binary_int oc format_version;
+       output_binary_int oc (String.length config_digest);
+       output_string oc config_digest;
+       Marshal.to_channel oc payload [];
+       flush oc;
+       (* fsync before rename: the rename must not beat the data to disk *)
+       Unix.fsync (Unix.descr_of_out_channel oc);
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path;
+    Ok ()
+  with
+  | Sys_error msg | Unix.Unix_error (_, _, msg) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      fail ~code:Error.Invalid_operand ~path ("checkpoint write failed: " ^ msg)
+
+let load ~path ~config_digest =
+  if not (Sys.file_exists path) then
+    fail ~code:Error.Invalid_operand ~path "no checkpoint at this path"
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then
+            fail ~code:Error.Invalid_operand ~path "not a checkpoint file"
+          else
+            let v = input_binary_int ic in
+            if v <> format_version then
+              fail ~code:Error.Stale_checkpoint ~path
+                (Printf.sprintf "checkpoint format v%d, expected v%d" v
+                   format_version)
+            else
+              let dlen = input_binary_int ic in
+              if dlen < 0 || dlen > 4096 then
+                fail ~code:Error.Invalid_operand ~path "corrupt checkpoint header"
+              else
+                let stored = really_input_string ic dlen in
+                if stored <> config_digest then
+                  Error
+                    (Error.make ~layer:"checkpoint"
+                       ~code:Error.Stale_checkpoint
+                       ~context:
+                         [
+                           ("path", path);
+                           ("stored-digest", stored);
+                           ("run-digest", config_digest);
+                         ]
+                       "checkpoint was written by a different run \
+                        configuration; refusing to resume")
+                else Ok (Marshal.from_channel ic))
+    with
+    | Sys_error msg ->
+        fail ~code:Error.Invalid_operand ~path ("cannot read checkpoint: " ^ msg)
+    | End_of_file | Failure _ ->
+        fail ~code:Error.Invalid_operand ~path "truncated or corrupt checkpoint"
+
+let exists = Sys.file_exists
+
+let remove path =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; tmp_path path ]

@@ -1,0 +1,6 @@
+external monotonic_ns : unit -> int64 = "promise_clock_monotonic_ns"
+
+let elapsed_ms ~since =
+  Int64.to_float (Int64.sub (monotonic_ns ()) since) /. 1e6
+
+let sleep_ms ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)

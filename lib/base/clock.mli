@@ -1,0 +1,22 @@
+(** The monotonic clock behind watchdog deadlines and backoff waits.
+
+    [Unix.gettimeofday] is a wall clock: NTP steps and manual
+    adjustments move it, which turns a deadline check into a lottery on
+    a machine whose clock is being disciplined. The supervision layer
+    measures every elapsed interval against [CLOCK_MONOTONIC] instead
+    (via a tiny C stub; platforms without it fall back to the wall
+    clock). *)
+
+val monotonic_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; never goes backwards
+    on platforms with a monotonic clock. Only differences are
+    meaningful. *)
+
+val elapsed_ms : since:int64 -> float
+(** [elapsed_ms ~since] — milliseconds between [since] (an earlier
+    {!monotonic_ns} reading) and now. *)
+
+val sleep_ms : float -> unit
+(** Block the calling thread for (at least) the given milliseconds;
+    negative or zero returns immediately. The supervision layer's
+    default backoff sleep. *)

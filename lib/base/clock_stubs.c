@@ -1,0 +1,29 @@
+/* Monotonic clock for the supervision layer.
+
+   CLOCK_MONOTONIC when the platform has it (Linux, BSD, macOS);
+   gettimeofday otherwise.  The watchdog only ever subtracts two
+   readings, so the fallback's susceptibility to wall-clock steps is a
+   degradation, not a correctness bug. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value promise_clock_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 +
+                               (int64_t)ts.tv_nsec));
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    CAMLreturn(caml_copy_int64((int64_t)tv.tv_sec * 1000000000 +
+                               (int64_t)tv.tv_usec * 1000));
+  }
+}

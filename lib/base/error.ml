@@ -3,7 +3,9 @@ type code =
   | Capacity
   | Unsupported
   | Fault
+  | Timeout
   | Retry_exhausted
+  | Stale_checkpoint
   | Internal
 
 type t = {
@@ -28,7 +30,9 @@ let code_name = function
   | Capacity -> "capacity"
   | Unsupported -> "unsupported"
   | Fault -> "fault"
+  | Timeout -> "timeout"
   | Retry_exhausted -> "retry-exhausted"
+  | Stale_checkpoint -> "stale-checkpoint"
   | Internal -> "internal"
 
 let to_string t =

@@ -12,7 +12,12 @@ type code =
   | Capacity  (** the request exceeds the machine/layout resources *)
   | Unsupported  (** a legal request the implementation cannot map *)
   | Fault  (** a hardware fault surfaced (canary miss, BIST failure) *)
+  | Timeout  (** a supervised work item exceeded its deadline *)
   | Retry_exhausted  (** the bounded retry/backoff budget ran out *)
+  | Stale_checkpoint
+      (** a checkpoint's run-configuration digest does not match the
+          current run: resuming it would silently mix incompatible
+          results *)
   | Internal  (** wrapped legacy string error, no finer classification *)
 
 type t = {

@@ -1,0 +1,109 @@
+type kind =
+  | Timeout
+  | Retry
+  | Quarantine
+  | Degradation
+  | Checkpoint_write
+  | Checkpoint_resume
+  | Checkpoint_stale
+  | Signal
+  | Run_start
+  | Run_end
+
+let kind_name = function
+  | Timeout -> "timeout"
+  | Retry -> "retry"
+  | Quarantine -> "quarantine"
+  | Degradation -> "degradation"
+  | Checkpoint_write -> "checkpoint-write"
+  | Checkpoint_resume -> "checkpoint-resume"
+  | Checkpoint_stale -> "checkpoint-stale"
+  | Signal -> "signal"
+  | Run_start -> "run-start"
+  | Run_end -> "run-end"
+
+type sink = Null | Channel of out_channel | Buf of Buffer.t
+
+type t = {
+  mutex : Mutex.t;
+  mutable sink : sink;
+  mutable seq : int;
+  opened_ns : int64;
+}
+
+let make sink =
+  { mutex = Mutex.create (); sink; seq = 0; opened_ns = Clock.monotonic_ns () }
+
+let null = make Null
+let is_null t = t.sink = Null
+
+let to_file path =
+  match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path with
+  | oc -> Ok (make (Channel oc))
+  | exception Sys_error msg ->
+      Error.fail ~layer:"incident" ~code:Error.Invalid_operand
+        ~context:[ ("path", path) ]
+        ("cannot open incident log: " ^ msg)
+
+let to_buffer buf = make (Buf buf)
+
+(* Minimal JSON string escaping: the fields are short ASCII-ish
+   diagnostics, but junk must still not break the line format. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let record t kind fields =
+  if t.sink <> Null then
+    Mutex.protect t.mutex (fun () ->
+        match t.sink with
+        | Null -> ()
+        | sink ->
+            t.seq <- t.seq + 1;
+            let b = Buffer.create 128 in
+            Printf.bprintf b "{\"seq\":%d,\"t_ms\":%.1f,\"wall\":\"%s\",\"kind\":\"%s\""
+              t.seq
+              (Clock.elapsed_ms ~since:t.opened_ns)
+              (iso8601_utc ()) (kind_name kind);
+            List.iter
+              (fun (k, v) ->
+                Printf.bprintf b ",\"%s\":\"%s\"" (escape k) (escape v))
+              fields;
+            Buffer.add_string b "}\n";
+            let line = Buffer.contents b in
+            (match sink with
+            | Null -> ()
+            | Buf buf -> Buffer.add_string buf line
+            | Channel oc -> (
+                try
+                  output_string oc line;
+                  flush oc
+                with Sys_error _ -> ())))
+
+let count t = Mutex.protect t.mutex (fun () -> t.seq)
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      match t.sink with
+      | Channel oc ->
+          t.sink <- Null;
+          (try close_out oc with Sys_error _ -> ())
+      | Buf _ | Null -> ())

@@ -1,0 +1,57 @@
+(** Structured JSONL incident log for supervised runs.
+
+    Every noteworthy supervision event — a watchdog timeout, a retry,
+    a quarantined work item, a runtime degradation, a checkpoint write
+    or resume, a signal-triggered flush — appends one self-contained
+    JSON object to the sink, so a 40-minute campaign leaves an
+    audit trail that survives the process and can be shipped as a CI
+    artifact. Writes are mutex-serialized (pool workers log
+    concurrently) and flushed per line: the tail of the log is valid
+    JSONL even after a SIGKILL.
+
+    Lines look like
+    {v {"seq":3,"t_ms":152.7,"wall":"2026-08-06T12:00:01Z","kind":"retry","item":"cell-7","attempt":"1","delay_ms":"48.1"} v}
+    ([seq] is a per-sink counter, [t_ms] monotonic milliseconds since
+    the sink opened, [wall] UTC wall-clock). *)
+
+type kind =
+  | Timeout  (** a work item exceeded its deadline *)
+  | Retry  (** an attempt failed; backing off before the next *)
+  | Quarantine  (** retries exhausted; the item is isolated *)
+  | Degradation  (** the system continued in a degraded mode *)
+  | Checkpoint_write  (** progress persisted *)
+  | Checkpoint_resume  (** a run resumed from persisted progress *)
+  | Checkpoint_stale  (** a checkpoint was rejected (config mismatch) *)
+  | Signal  (** SIGINT/SIGTERM observed; final flush initiated *)
+  | Run_start
+  | Run_end
+
+val kind_name : kind -> string
+
+type t
+
+val null : t
+(** Discards everything; the default when no [--incidents] path is
+    given. *)
+
+val is_null : t -> bool
+
+val to_file : string -> (t, Error.t) result
+(** Append-mode sink on [path] (created if missing). *)
+
+val to_buffer : Buffer.t -> t
+(** In-memory sink, for tests. *)
+
+val record : t -> kind -> (string * string) list -> unit
+(** [record t kind fields] — append one JSONL line. Keys [seq],
+    [t_ms], [wall] and [kind] are reserved; [fields] is free-form
+    string key/value context. Never raises: I/O errors on a file sink
+    silently drop the line (losing an incident must not kill the
+    campaign it describes). *)
+
+val count : t -> int
+(** Lines recorded through this sink so far (0 for {!null}). *)
+
+val close : t -> unit
+(** Flush and close a file sink — subsequent {!record}s through it are
+    dropped. Idempotent; a no-op for null and buffer sinks. *)

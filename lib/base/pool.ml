@@ -19,13 +19,27 @@
    outer batch, so queueing would deadlock.  A domain-local flag marks
    "currently running a pool item" to detect this. *)
 
+exception
+  Item_failure of { index : int; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Item_failure { index; exn; backtrace } ->
+        Some
+          (Printf.sprintf
+             "Pool.Item_failure(item %d: %s)%s" index
+             (Printexc.to_string exn)
+             (if backtrace = "" then ""
+              else "\nitem backtrace:\n" ^ backtrace))
+    | _ -> None)
+
 type batch = {
   gen : int;
   n : int;
   run : int -> unit;
   next : int Atomic.t;
   completed : int Atomic.t;
-  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  failure : (int * exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
 type shared = {
@@ -62,9 +76,9 @@ let default_jobs () =
    used to run nested maps inline instead of deadlocking. *)
 let in_item : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let record_failure b exn =
+let record_failure b index exn =
   let bt = Printexc.get_raw_backtrace () in
-  ignore (Atomic.compare_and_set b.failure None (Some (exn, bt)))
+  ignore (Atomic.compare_and_set b.failure None (Some (index, exn, bt)))
 
 (* Pull indices until the batch is exhausted.  Runs in workers and in
    the publishing caller alike. *)
@@ -73,7 +87,7 @@ let drain sh b =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.n then begin
       Domain.DLS.set in_item true;
-      (try b.run i with exn -> record_failure b exn);
+      (try b.run i with exn -> record_failure b i exn);
       Domain.DLS.set in_item false;
       let finished = 1 + Atomic.fetch_and_add b.completed 1 in
       if finished = b.n then begin
@@ -153,15 +167,30 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Run one item, wrapping any escape with its index and backtrace so
+   sequential and parallel maps fail identically. *)
+let run_item f arr i =
+  try f arr.(i)
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace
+      (Item_failure
+         {
+           index = i;
+           exn;
+           backtrace = String.trim (Printexc.raw_backtrace_to_string bt);
+         })
+      bt
+
 let sequential_map_array f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     (* explicit ascending loop: Array.init order is unspecified and f
        may draw from an RNG stream *)
-    let out = Array.make n (f arr.(0)) in
+    let out = Array.make n (run_item f arr 0) in
     for i = 1 to n - 1 do
-      out.(i) <- f arr.(i)
+      out.(i) <- run_item f arr i
     done;
     out
   end
@@ -202,7 +231,18 @@ let parallel_map_array sh f arr =
         sh.current <- None;
         Mutex.unlock sh.mutex;
         (match Atomic.get b.failure with
-        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | Some (index, exn, bt) ->
+            (* wrap instead of re-raising bare: by the time the error
+               surfaces in the caller, which grid cell failed and where
+               it blew up is exactly the context a campaign needs *)
+            Printexc.raise_with_backtrace
+              (Item_failure
+                 {
+                   index;
+                   exn;
+                   backtrace = String.trim (Printexc.raw_backtrace_to_string bt);
+                 })
+              bt
         | None -> ());
         Array.map
           (function

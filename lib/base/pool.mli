@@ -19,6 +19,19 @@
 
 type t
 
+exception
+  Item_failure of {
+    index : int;  (** which input element blew up *)
+    exn : exn;  (** the original exception *)
+    backtrace : string;  (** the item's captured backtrace, printed *)
+  }
+(** What {!map_array}/{!map_list} raise when a work item escapes with
+    an exception: the failing item's index and its captured backtrace
+    travel with the original exception, so a campaign failure names
+    the exact grid cell instead of an anonymous ["Failure boom"].
+    Raised identically by the sequential and parallel paths (a nested
+    failure wraps once per map level); a printer is registered. *)
+
 val sequential : t
 (** The jobs = 1 pool: no domains, inline execution. *)
 
@@ -42,7 +55,8 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f arr] — apply [f] to every element, possibly
     concurrently; [(map_array t f arr).(i) = f arr.(i)] positionally.
     The first exception raised by any [f] is re-raised in the caller
-    (with its backtrace) after the batch has drained. *)
+    (with its backtrace) after the batch has drained, wrapped in
+    {!Item_failure} carrying the item index. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** List analogue of {!map_array}. *)

@@ -259,6 +259,317 @@ let summarize cells =
   in
   (detection, recovery, mean_residual)
 
+(* ------------------------------------------------------------------ *)
+(* Supervised, checkpointed execution                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sup = Promise_core.Supervisor
+module Ckpt = Promise_core.Checkpoint
+module Inc = Promise_core.Incident
+
+type cell_result = {
+  r_benchmark : string;
+  r_scenario : string;
+  r_cell : (cell, E.t) result;  (** [Error] = the cell was quarantined *)
+}
+
+type outcome =
+  | Completed of cell_result list
+  | Interrupted of { completed : int; total : int }
+  | Rejected of E.t
+
+(* The checkpoint payload: per-benchmark baselines and per-grid-cell
+   results, indexed positionally over the (benchmark × scenario) grid.
+   Everything in here is plain data (floats, strings, Error.t), so
+   Marshal round-trips it bit-exactly. *)
+type progress = {
+  p_baselines : (float, E.t) result option array;
+  p_cells : cell_result option array;
+}
+
+let config_digest ~scenarios ~benchmarks =
+  Ckpt.digest_of_config ~kind:"campaign-cells"
+    ((Printf.sprintf "budget=%.4f" residual_budget
+     :: List.map (fun s -> s.sname ^ "/" ^ s.kind) scenarios)
+    @ List.map (fun (b : B.t) -> b.B.short) benchmarks)
+
+let count_some arr =
+  Array.fold_left (fun n o -> if o = None then n else n + 1) 0 arr
+
+(* Cells processed between checkpoint flushes: one pool width per
+   chunk keeps every domain busy while bounding how much work a crash
+   or SIGTERM can lose. *)
+let chunk_size pool = max 1 (Promise_core.Pool.jobs pool)
+
+let rec take k = function
+  | [] -> ([], [])
+  | l when k = 0 -> ([], l)
+  | x :: tl ->
+      let a, b = take (k - 1) tl in
+      (x :: a, b)
+
+let run_cells_supervised ?pool
+    ?(on_checkpoint = fun ~completed:_ ~total:_ -> ())
+    (session : Sup.session) ~scenarios ~benchmarks () =
+  let pool = Option.value pool ~default:Promise_core.Pool.sequential in
+  let cfg = session.Sup.sup in
+  let inc = cfg.Sup.incidents in
+  let barr = Array.of_list benchmarks in
+  let sarr = Array.of_list scenarios in
+  let nb = Array.length barr and ns = Array.length sarr in
+  let total = nb * ns in
+  let digest = config_digest ~scenarios ~benchmarks in
+  let fresh () =
+    { p_baselines = Array.make nb None; p_cells = Array.make total None }
+  in
+  let loaded =
+    match session.Sup.checkpoint with
+    | Some path when session.Sup.resume && Ckpt.exists path -> (
+        match (Ckpt.load ~path ~config_digest:digest : (progress, E.t) result) with
+        | Ok p
+          when Array.length p.p_baselines = nb
+               && Array.length p.p_cells = total ->
+            Inc.record inc Inc.Checkpoint_resume
+              [
+                ("path", path);
+                ("cells_done", string_of_int (count_some p.p_cells));
+                ("total", string_of_int total);
+              ];
+            Ok p
+        | Ok _ ->
+            Error
+              (E.make ~layer:"campaign" ~code:E.Stale_checkpoint
+                 ~context:[ ("path", path) ]
+                 "checkpoint grid shape does not match this campaign")
+        | Error e ->
+            Inc.record inc Inc.Checkpoint_stale [ ("error", E.to_string e) ];
+            Error e)
+    | _ -> Ok (fresh ())
+  in
+  match loaded with
+  | Error e -> Rejected e
+  | Ok progress ->
+      let save () =
+        match session.Sup.checkpoint with
+        | None -> ()
+        | Some path -> (
+            match Ckpt.save ~path ~config_digest:digest progress with
+            | Ok () ->
+                let completed = count_some progress.p_cells in
+                Inc.record inc Inc.Checkpoint_write
+                  [
+                    ("path", path);
+                    ("cells_done", string_of_int completed);
+                    ("total", string_of_int total);
+                  ];
+                on_checkpoint ~completed ~total
+            | Error e ->
+                (* losing persistence degrades, it does not abort *)
+                Inc.record inc Inc.Degradation
+                  [ ("what", "checkpoint write failed");
+                    ("error", E.to_string e) ])
+      in
+      let interrupted () =
+        save ();
+        Inc.record inc Inc.Signal
+          [
+            ( "signal",
+              match Sup.stop_signal session.Sup.stop with
+              | Some n -> Sup.signal_name n
+              | None -> "request" );
+            ("cells_done", string_of_int (count_some progress.p_cells));
+            ("total", string_of_int total);
+          ];
+        Interrupted { completed = count_some progress.p_cells; total }
+      in
+      Inc.record inc Inc.Run_start
+        [
+          ("what", "campaign");
+          ("total_cells", string_of_int total);
+          ("jobs", string_of_int (Promise_core.Pool.jobs pool));
+          ("resumed", string_of_int (count_some progress.p_cells));
+        ];
+      if Sup.stop_requested session.Sup.stop then interrupted ()
+      else begin
+        (* 1. per-benchmark baselines (supervised items themselves) *)
+        let missing_b =
+          List.filter
+            (fun i -> progress.p_baselines.(i) = None)
+            (List.init nb Fun.id)
+        in
+        if missing_b <> [] then begin
+          let results =
+            Sup.map_result ~pool cfg
+              ~label:(fun k ->
+                "baseline:" ^ (barr.(List.nth missing_b k)).B.short)
+              (fun i ->
+                let b = barr.(i) in
+                Ok
+                  (b.B.evaluate ~swings:(B.max_swings b) ())
+                    .B.promise_accuracy)
+              missing_b
+          in
+          List.iter2
+            (fun i r -> progress.p_baselines.(i) <- Some r)
+            missing_b results;
+          (* a quarantined baseline condemns that benchmark's cells *)
+          Array.iteri
+            (fun bi baseline ->
+              match baseline with
+              | Some (Error e) ->
+                  for si = 0 to ns - 1 do
+                    let gi = (bi * ns) + si in
+                    if progress.p_cells.(gi) = None then
+                      progress.p_cells.(gi) <-
+                        Some
+                          {
+                            r_benchmark = barr.(bi).B.short;
+                            r_scenario = sarr.(si).sname;
+                            r_cell =
+                              Error
+                                (E.with_context e
+                                   [ ("cascade", "baseline quarantined") ]);
+                          }
+                  done
+              | _ -> ())
+            progress.p_baselines;
+          save ()
+        end;
+        (* 2. the grid, chunk by chunk *)
+        let pending =
+          List.filter
+            (fun i -> progress.p_cells.(i) = None)
+            (List.init total Fun.id)
+        in
+        let run_one gi =
+          let bi = gi / ns and si = gi mod ns in
+          let b = barr.(bi) and s = sarr.(si) in
+          match progress.p_baselines.(bi) with
+          | Some (Ok baseline) -> Ok (run_cell ~scenario:s b ~baseline)
+          | _ ->
+              E.fail ~layer:"campaign" ~code:E.Internal
+                ~context:[ ("benchmark", b.B.short) ]
+                "cell ran without a baseline"
+        in
+        let rec loop pending =
+          if Sup.stop_requested session.Sup.stop then interrupted ()
+          else
+            match pending with
+            | [] ->
+                Inc.record inc Inc.Run_end
+                  [
+                    ("what", "campaign");
+                    ("total_cells", string_of_int total);
+                  ];
+                (match session.Sup.checkpoint with
+                | Some path -> Ckpt.remove path
+                | None -> ());
+                Completed
+                  (List.init total (fun i -> Option.get progress.p_cells.(i)))
+            | _ ->
+                let chunk, rest = take (chunk_size pool) pending in
+                let carr = Array.of_list chunk in
+                let results =
+                  Sup.map_result ~pool cfg
+                    ~label:(fun k ->
+                      let gi = carr.(k) in
+                      Printf.sprintf "cell:%s:%s"
+                        (barr.(gi / ns)).B.short
+                        sarr.(gi mod ns).sname)
+                    run_one chunk
+                in
+                List.iter2
+                  (fun gi r ->
+                    progress.p_cells.(gi) <-
+                      Some
+                        {
+                          r_benchmark = (barr.(gi / ns)).B.short;
+                          r_scenario = sarr.(gi mod ns).sname;
+                          r_cell = r;
+                        })
+                  chunk results;
+                save ();
+                loop rest
+        in
+        loop pending
+      end
+
+let print_cell_results ppf results =
+  Format.fprintf ppf
+    "   %-20s %-14s %-9s %8s %8s %8s %8s  %s@." "scenario" "benchmark"
+    "detected" "baseline" "faulted" "recover" "residual" "ok";
+  List.iter
+    (fun r ->
+      match r.r_cell with
+      | Ok c ->
+          Format.fprintf ppf
+            "   %-20s %-14s %-9s %8.3f %8.3f %8.3f %8.3f  %s@." c.scenario
+            c.benchmark
+            (if c.detected then "yes" else "NO")
+            c.baseline c.faulted c.recovered c.residual
+            (if c.recovered_ok then "ok" else "FAIL")
+      | Error e ->
+          Format.fprintf ppf "   %-20s %-14s QUARANTINED  %s@." r.r_scenario
+            r.r_benchmark (E.to_string e))
+    results
+
+type supervised_summary = {
+  cells : int;
+  quarantined : int;
+  undetected : int;  (** completed cells whose BIST missed a fault *)
+  residual_errors : int;
+      (** quarantined cells + completed cells over the residual budget *)
+}
+
+let summarize_results results =
+  let cells = List.length results in
+  let quarantined =
+    List.length (List.filter (fun r -> Result.is_error r.r_cell) results)
+  in
+  let ok_cells = List.filter_map (fun r -> Result.to_option r.r_cell) results in
+  let undetected =
+    List.length (List.filter (fun c -> not c.detected) ok_cells)
+  in
+  let unrecovered =
+    List.length (List.filter (fun c -> not c.recovered_ok) ok_cells)
+  in
+  {
+    cells;
+    quarantined;
+    undetected;
+    residual_errors = quarantined + unrecovered;
+  }
+
+let report_supervised ?(quick = false) ?pool ?on_checkpoint session ppf =
+  let scenarios = if quick then quick_scenarios () else all_scenarios () in
+  let benchmarks = fast_benchmarks () in
+  Format.fprintf ppf
+    "@.== Fault-injection campaign (%d scenarios x %d benchmarks%s) ==@."
+    (List.length scenarios) (List.length benchmarks)
+    (if quick then ", quick" else "");
+  match
+    run_cells_supervised ?pool ?on_checkpoint session ~scenarios ~benchmarks ()
+  with
+  | (Interrupted _ | Rejected _) as o -> o
+  | Completed results as o ->
+      print_cell_results ppf results;
+      let ok_cells =
+        List.filter_map (fun r -> Result.to_option r.r_cell) results
+      in
+      if ok_cells <> [] then begin
+        let detection, recovery, mean_residual = summarize ok_cells in
+        Format.fprintf ppf
+          "   detection rate %.0f%%   recovery rate %.0f%%   mean residual \
+           loss %.3f (budget %.2f)@."
+          (100.0 *. detection) (100.0 *. recovery) mean_residual
+          residual_budget
+      end;
+      let s = summarize_results results in
+      if s.quarantined > 0 then
+        Format.fprintf ppf "   quarantined cells: %d of %d@." s.quarantined
+          s.cells;
+      o
+
 let report ?(quick = false) ?pool ppf =
   let scenarios = if quick then quick_scenarios () else all_scenarios () in
   let benchmarks = fast_benchmarks () in

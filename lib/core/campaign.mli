@@ -66,3 +66,73 @@ val summarize : cell list -> float * float * float
     restricts to {!quick_scenarios}; [pool] fans the cells out across
     domains. *)
 val report : ?quick:bool -> ?pool:Promise_core.Pool.t -> Format.formatter -> bool
+
+(** {2 Supervised, checkpointed execution}
+
+    The same campaign as a resumable item stream: cells run under a
+    {!Promise_core.Supervisor.session} (deadline, bounded retry,
+    quarantine, incident log), progress is checkpointed atomically
+    after every chunk, SIGINT/SIGTERM (via the session's stop flag)
+    flushes a final checkpoint instead of losing the run, and a rerun
+    with [resume] picks up exactly where the previous process died.
+    Both paths are deterministic: an interrupted-and-resumed run
+    assembles the same cell list, bit for bit, as an uninterrupted one
+    at the same job count. *)
+
+type cell_result = {
+  r_benchmark : string;
+  r_scenario : string;
+  r_cell : (cell, Promise_core.Error.t) result;
+      (** [Error] = the cell was quarantined (deadline or retry budget
+          exhausted); its siblings are unaffected *)
+}
+
+type outcome =
+  | Completed of cell_result list  (** every cell accounted for *)
+  | Interrupted of { completed : int; total : int }
+      (** the stop flag was raised; progress is in the checkpoint *)
+  | Rejected of Promise_core.Error.t
+      (** the checkpoint belongs to a different run configuration *)
+
+val config_digest :
+  scenarios:scenario list -> benchmarks:Benchmarks.t list -> string
+(** The digest guarding campaign checkpoints: scenario names/kinds,
+    benchmark shorts, the residual budget, the library version. *)
+
+val run_cells_supervised :
+  ?pool:Promise_core.Pool.t ->
+  ?on_checkpoint:(completed:int -> total:int -> unit) ->
+  Promise_core.Supervisor.session ->
+  scenarios:scenario list ->
+  benchmarks:Benchmarks.t list ->
+  unit ->
+  outcome
+(** Supervised {!run_cells}. Baselines are supervised items too (a
+    quarantined baseline cascades to its benchmark's cells); the grid
+    then runs in pool-width chunks with a checkpoint flush (and
+    [on_checkpoint] callback) after each. A completed run removes its
+    checkpoint. *)
+
+val print_cell_results : Format.formatter -> cell_result list -> unit
+(** The {!print_cells} table with QUARANTINED rows for [Error] cells. *)
+
+type supervised_summary = {
+  cells : int;
+  quarantined : int;
+  undetected : int;  (** completed cells whose BIST missed a fault *)
+  residual_errors : int;
+      (** quarantined cells + completed cells over the residual budget *)
+}
+
+val summarize_results : cell_result list -> supervised_summary
+
+val report_supervised :
+  ?quick:bool ->
+  ?pool:Promise_core.Pool.t ->
+  ?on_checkpoint:(completed:int -> total:int -> unit) ->
+  Promise_core.Supervisor.session ->
+  Format.formatter ->
+  outcome
+(** Supervised {!report}: prints the same header/table/summary (plus a
+    quarantine line when any cell was isolated) and returns the
+    outcome for the CLI to turn into an exit status. *)

@@ -101,6 +101,12 @@ end
 module Error = Promise_core.Error
 module Pool = Promise_core.Pool
 module Quant = Promise_core.Quant
+module Clock = Promise_core.Clock
+module Retry = Promise_core.Retry
+module Incident = Promise_core.Incident
+module Checkpoint = Promise_core.Checkpoint
+module Supervisor = Promise_core.Supervisor
+module Validate = Promise_core.Validate
 module Benchmarks = Benchmarks
 module Report = Report
 module Validation = Validation
@@ -117,6 +123,21 @@ let run = Promise_compiler.Pipeline.run
 
 (** [energy_report program] — Eq. (6) breakdown of an ISA program. *)
 let energy_report = Promise_energy.Model.program_energy
+
+(** [check_env ()] — validate every [PROMISE_*] environment variable a
+    run consults, with typed errors instead of silent fallbacks: a
+    typo'd [PROMISE_JOBS=fuor] fails loudly at CLI startup rather than
+    quietly running at the default width. The kernel-mode value list
+    mirrors [Arch.Machine.kernel_mode_of_env]. *)
+let check_env () =
+  Promise_core.Validate.all
+    [
+      Result.map ignore
+        (Promise_core.Validate.env_int ~name:"PROMISE_JOBS" ~min:1 ~max:64);
+      Result.map ignore
+        (Promise_core.Validate.env_enum ~name:"PROMISE_KERNEL_MODE"
+           ~values:[ "fused"; "reference"; "ref"; "scalar" ]);
+    ]
 
 (** [version]. *)
 let version = "1.0.0"

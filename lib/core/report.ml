@@ -555,3 +555,173 @@ let quick ?pool ppf =
 
 let all ?pool ppf =
   print_sections ?pool ppf (List.map (fun (_, _, f) -> f) sections)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised, checkpointed rendering                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sup = Promise_core.Supervisor
+module Ckpt = Promise_core.Checkpoint
+module Inc = Promise_core.Incident
+module E = Promise_core.Error
+
+type sections_outcome =
+  | Sections_done of { quarantined : int }
+  | Sections_interrupted of { completed : int; total : int }
+  | Sections_rejected of E.t
+
+let sections_digest names =
+  Ckpt.digest_of_config ~kind:"report-sections" names
+
+let quick_names () =
+  List.filter_map (fun (n, slow, _) -> if slow then None else Some n) sections
+
+let all_names () = List.map (fun (n, _, _) -> n) sections
+
+(* Render the named sections under the session: each section is one
+   supervised work item (deadline / retry / quarantine), finished
+   renders checkpoint after every pool-width chunk, and the assembled
+   report prints only once everything is in — in list order, so the
+   output is byte-identical to the unsupervised path whatever the job
+   count or the number of interruptions. *)
+let run_sections_supervised ?(pool = Pool.sequential)
+    ?(on_checkpoint = fun ~completed:_ ~total:_ -> ())
+    (session : Sup.session) ppf names =
+  let cfg = session.Sup.sup in
+  let inc = cfg.Sup.incidents in
+  let named =
+    List.filter_map
+      (fun name ->
+        List.find_opt (fun (n, _, _) -> n = name) sections
+        |> Option.map (fun (n, _, f) -> (n, f)))
+      names
+  in
+  let narr = Array.of_list named in
+  let total = Array.length narr in
+  let digest = sections_digest (List.map fst named) in
+  let count_some arr =
+    Array.fold_left (fun n o -> if o = None then n else n + 1) 0 arr
+  in
+  let loaded =
+    match session.Sup.checkpoint with
+    | Some path when session.Sup.resume && Ckpt.exists path -> (
+        match
+          (Ckpt.load ~path ~config_digest:digest
+            : ((string, E.t) result option array, E.t) result)
+        with
+        | Ok p when Array.length p = total ->
+            Inc.record inc Inc.Checkpoint_resume
+              [
+                ("path", path);
+                ("sections_done", string_of_int (count_some p));
+                ("total", string_of_int total);
+              ];
+            Ok p
+        | Ok _ ->
+            Error
+              (E.make ~layer:"report" ~code:E.Stale_checkpoint
+                 ~context:[ ("path", path) ]
+                 "checkpoint section count does not match this report")
+        | Error e ->
+            Inc.record inc Inc.Checkpoint_stale [ ("error", E.to_string e) ];
+            Error e)
+    | _ -> Ok (Array.make total None)
+  in
+  match loaded with
+  | Error e -> Sections_rejected e
+  | Ok rendered ->
+      let save () =
+        match session.Sup.checkpoint with
+        | None -> ()
+        | Some path -> (
+            match Ckpt.save ~path ~config_digest:digest rendered with
+            | Ok () ->
+                let completed = count_some rendered in
+                Inc.record inc Inc.Checkpoint_write
+                  [
+                    ("path", path);
+                    ("sections_done", string_of_int completed);
+                    ("total", string_of_int total);
+                  ];
+                on_checkpoint ~completed ~total
+            | Error e ->
+                Inc.record inc Inc.Degradation
+                  [ ("what", "checkpoint write failed");
+                    ("error", E.to_string e) ])
+      in
+      let interrupted () =
+        save ();
+        Inc.record inc Inc.Signal
+          [
+            ( "signal",
+              match Sup.stop_signal session.Sup.stop with
+              | Some n -> Sup.signal_name n
+              | None -> "request" );
+            ("sections_done", string_of_int (count_some rendered));
+            ("total", string_of_int total);
+          ];
+        Sections_interrupted { completed = count_some rendered; total }
+      in
+      let render i () =
+        let _, f = narr.(i) in
+        let buf = Buffer.create 4096 in
+        let bppf = Format.formatter_of_buffer buf in
+        f pool bppf;
+        Format.pp_print_flush bppf ();
+        Ok (Buffer.contents buf)
+      in
+      Inc.record inc Inc.Run_start
+        [
+          ("what", "report");
+          ("total_sections", string_of_int total);
+          ("jobs", string_of_int (Pool.jobs pool));
+          ("resumed", string_of_int (count_some rendered));
+        ];
+      let chunk_size = max 1 (Pool.jobs pool) in
+      let rec take k = function
+        | [] -> ([], [])
+        | l when k = 0 -> ([], l)
+        | x :: tl ->
+            let a, b = take (k - 1) tl in
+            (x :: a, b)
+      in
+      let rec loop pending =
+        if Sup.stop_requested session.Sup.stop then interrupted ()
+        else
+          match pending with
+          | [] ->
+              let quarantined = ref 0 in
+              Array.iteri
+                (fun i r ->
+                  match Option.get r with
+                  | Ok s -> Format.pp_print_string ppf s
+                  | Error e ->
+                      incr quarantined;
+                      Format.fprintf ppf
+                        "@.== %s ==@.   SECTION QUARANTINED: %s@."
+                        (fst narr.(i)) (E.to_string e))
+                rendered;
+              Format.pp_print_flush ppf ();
+              Inc.record inc Inc.Run_end
+                [ ("what", "report"); ("total_sections", string_of_int total) ];
+              (match session.Sup.checkpoint with
+              | Some path -> Ckpt.remove path
+              | None -> ());
+              Sections_done { quarantined = !quarantined }
+          | _ ->
+              let chunk, rest = take chunk_size pending in
+              let carr = Array.of_list chunk in
+              let results =
+                Sup.map_result ~pool cfg
+                  ~label:(fun k -> "section:" ^ fst narr.(carr.(k)))
+                  (fun i -> render i ())
+                  chunk
+              in
+              List.iter2
+                (fun i r -> rendered.(i) <- Some r)
+                chunk results;
+              save ();
+              loop rest
+      in
+      loop
+        (List.filter (fun i -> rendered.(i) = None) (List.init total Fun.id))

@@ -121,3 +121,36 @@ val print_sections :
   Format.formatter ->
   (Promise_core.Pool.t -> Format.formatter -> unit) list ->
   unit
+
+(** {2 Supervised, checkpointed rendering} *)
+
+type sections_outcome =
+  | Sections_done of { quarantined : int }
+      (** printed; [quarantined] sections were replaced by their error *)
+  | Sections_interrupted of { completed : int; total : int }
+      (** stop flag raised; finished renders are in the checkpoint *)
+  | Sections_rejected of Promise_core.Error.t
+      (** the checkpoint belongs to a different section list *)
+
+val quick_names : unit -> string list
+(** Names of the non-slow sections, in print order. *)
+
+val all_names : unit -> string list
+
+val sections_digest : string list -> string
+(** The digest guarding report checkpoints (ordered section names). *)
+
+val run_sections_supervised :
+  ?pool:Promise_core.Pool.t ->
+  ?on_checkpoint:(completed:int -> total:int -> unit) ->
+  Promise_core.Supervisor.session ->
+  Format.formatter ->
+  string list ->
+  sections_outcome
+(** Render the named sections as supervised work items: each render is
+    deadline/retry/quarantine-supervised, finished renders are
+    checkpointed after every pool-width chunk, and the assembled
+    report prints once, in section order — byte-identical to
+    {!print_sections} however often the run was interrupted and
+    resumed. Unknown names are skipped (the CLIs report them). A
+    completed run removes its checkpoint. *)

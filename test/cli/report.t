@@ -37,8 +37,26 @@ Unknown sections are reported with the available names.
   $ promise_report no_such_section
   unknown section "no_such_section"; available: validation, resilience, table1, table3, eq3, isa, fig10a, fig10b, fig11, fig12, table2, soa_knn, soa_dnn, cm, ablation, extensions, adc_fidelity, size_sweep, error_sources, dma, yield
 
-A bad job count is a usage error.
+A bad job count is a usage error carrying the typed diagnostic.
 
   $ promise_report table1 --jobs 0
-  promise-report: --jobs must be in 1..64
+  promise-report: option '--jobs': cli: must be in 1..64 [flag=--jobs, value=0]
+  Usage: promise-report [OPTION]… [SECTION]…
+  Try 'promise-report --help' for more information.
   [124]
+
+So is junk in a PROMISE_* environment variable.
+
+  $ PROMISE_JOBS=fuor promise_report table1
+  promise-report: cli: expected an integer [flag=PROMISE_JOBS, value=fuor]
+  [124]
+
+A run interrupted mid-render resumes from its checkpoint and prints
+the byte-identical report.
+
+  $ promise_report isa table1 eq3 > clean.txt
+  $ promise_report isa table1 eq3 --checkpoint state.ckpt --resume --incidents log.jsonl > resumed.txt 2>/dev/null
+  $ cmp clean.txt resumed.txt
+  $ grep -c '"kind":"run-start"' log.jsonl
+  1
+  $ test ! -e state.ckpt

@@ -51,7 +51,10 @@ let test_pool_exception () =
            (Array.init 64 (fun i -> i))
        with
       | _ -> fail "expected the item exception to propagate"
-      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      | exception Pool.Item_failure { index; exn = Failure msg; _ } ->
+          check Alcotest.int "failing item index" 37 index;
+          check Alcotest.string "message" "boom" msg
+      | exception e -> fail ("unexpected exception " ^ Printexc.to_string e));
       (* the pool survives a failed batch *)
       check (Alcotest.array int) "usable after failure"
         [| 0; 2; 4 |]

@@ -1,0 +1,489 @@
+(* Supervised execution: retry/backoff, checkpoint/resume, incident
+   log, quarantine, and the bit-identity of interrupted-and-resumed
+   campaigns and reports. *)
+
+open Alcotest
+module P = Promise
+module E = P.Error
+module Retry = P.Retry
+module Ckpt = P.Checkpoint
+module Inc = P.Incident
+module Sup = P.Supervisor
+module Val = P.Validate
+
+let get_ok = function
+  | Ok v -> v
+  | Error e -> fail ("unexpected error: " ^ E.to_string e)
+
+let code = function Ok _ -> fail "expected Error" | Error e -> e.E.code
+
+let tmp_path suffix =
+  let path = Filename.temp_file "promise-test" suffix in
+  Sys.remove path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_retry_deterministic =
+  QCheck.Test.make ~name:"retry schedule is a pure function of the policy"
+    ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 8))
+    (fun (seed, max_attempts) ->
+      let p () = get_ok (Retry.policy ~max_attempts ~seed ()) in
+      Retry.schedule (p ()) = Retry.schedule (p ()))
+
+let qcheck_retry_bounded =
+  QCheck.Test.make ~name:"every backoff is in [0, cap * (1 + jitter)]"
+    ~count:200
+    QCheck.(triple (int_bound 1_000_000) (int_range 2 10) (int_range 0 100))
+    (fun (seed, max_attempts, jitter_pct) ->
+      let jitter = float_of_int jitter_pct /. 100.0 in
+      let p =
+        get_ok
+          (Retry.policy ~max_attempts ~base_delay_ms:10.0 ~max_delay_ms:80.0
+             ~jitter ~seed ())
+      in
+      List.for_all
+        (fun d -> d >= 0.0 && d <= 80.0 *. (1.0 +. jitter) +. 1e-9)
+        (Retry.schedule p))
+
+let qcheck_retry_attempts_bounded =
+  QCheck.Test.make ~name:"run makes at most max_attempts calls" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 1 20))
+    (fun (max_attempts, fail_until) ->
+      let p =
+        get_ok
+          (Retry.policy ~max_attempts ~base_delay_ms:1.0 ~max_delay_ms:2.0
+             ~seed:0 ())
+      in
+      let calls = ref 0 in
+      let f ~attempt:_ =
+        incr calls;
+        if !calls >= fail_until then Ok !calls
+        else E.fail ~layer:"test" "not yet"
+      in
+      let r = Retry.run ~sleep:(fun _ -> ()) p f in
+      !calls <= max_attempts
+      && (match r with
+         | Ok _ -> !calls = fail_until
+         | Error _ -> !calls = max_attempts))
+
+let test_retry_exhaustion_error () =
+  let p =
+    get_ok
+      (Retry.policy ~max_attempts:3 ~base_delay_ms:5.0 ~max_delay_ms:20.0
+         ~seed:7 ())
+  in
+  let slept = ref [] in
+  let retries = ref 0 in
+  let r =
+    Retry.run
+      ~sleep:(fun ms -> slept := ms :: !slept)
+      ~on_retry:(fun ~attempt:_ ~delay_ms:_ _ -> incr retries)
+      p
+      (fun ~attempt:_ -> E.fail ~layer:"test" "always")
+  in
+  check int "two backoff sleeps" 2 (List.length !slept);
+  check int "two on_retry callbacks" 2 !retries;
+  (match r with
+  | Ok _ -> fail "expected exhaustion"
+  | Error e ->
+      check string "promoted code" "retry-exhausted" (E.code_name e.E.code);
+      check bool "attempts in context" true
+        (List.mem_assoc "attempts" e.E.context));
+  (* the recorded waits are exactly the published schedule *)
+  check (list (float 1e-9)) "sleeps follow the schedule" (Retry.schedule p)
+    (List.rev !slept)
+
+let test_retry_policy_validation () =
+  let bad f = check string "invalid-operand" "invalid-operand" (E.code_name f) in
+  bad (code (Retry.policy ~max_attempts:0 ~seed:0 ()));
+  bad (code (Retry.policy ~base_delay_ms:(-1.0) ~seed:0 ()));
+  bad (code (Retry.policy ~base_delay_ms:10.0 ~max_delay_ms:5.0 ~seed:0 ()));
+  bad (code (Retry.policy ~jitter:1.5 ~seed:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_roundtrip () =
+  let path = tmp_path ".ckpt" in
+  let digest = Ckpt.digest_of_config ~kind:"test" [ "a"; "b" ] in
+  let payload = (Array.init 16 (fun i -> float_of_int i), "tail") in
+  get_ok (Ckpt.save ~path ~config_digest:digest payload);
+  check bool "exists" true (Ckpt.exists path);
+  let back : (float array * string, E.t) result =
+    Ckpt.load ~path ~config_digest:digest
+  in
+  check bool "payload survives the round trip" true (get_ok back = payload);
+  Ckpt.remove path;
+  check bool "removed" false (Ckpt.exists path)
+
+let test_checkpoint_stale () =
+  let path = tmp_path ".ckpt" in
+  get_ok
+    (Ckpt.save ~path
+       ~config_digest:(Ckpt.digest_of_config ~kind:"test" [ "run1" ])
+       [| 1; 2; 3 |]);
+  let r : (int array, E.t) result =
+    Ckpt.load ~path
+      ~config_digest:(Ckpt.digest_of_config ~kind:"test" [ "run2" ])
+  in
+  check string "stale rejected" "stale-checkpoint" (E.code_name (code r));
+  Ckpt.remove path
+
+let test_checkpoint_corrupt_and_missing () =
+  let digest = Ckpt.digest_of_config ~kind:"test" [] in
+  let missing : (int, E.t) result =
+    Ckpt.load ~path:(tmp_path ".ckpt") ~config_digest:digest
+  in
+  check string "missing" "invalid-operand" (E.code_name (code missing));
+  let path = tmp_path ".ckpt" in
+  let oc = open_out path in
+  output_string oc "this is not a checkpoint";
+  close_out oc;
+  let corrupt : (int, E.t) result = Ckpt.load ~path ~config_digest:digest in
+  check string "corrupt" "invalid-operand" (E.code_name (code corrupt));
+  Ckpt.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Incident log                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_incident_jsonl () =
+  let buf = Buffer.create 256 in
+  let t = Inc.to_buffer buf in
+  Inc.record t Inc.Retry [ ("item", "cell-7"); ("attempt", "1") ];
+  Inc.record t Inc.Quarantine [ ("item", "cell \"7\"") ];
+  Inc.record t Inc.Run_end [];
+  check int "count" 3 (Inc.count t);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check int "three JSONL lines" 3 (List.length lines);
+  List.iteri
+    (fun i line ->
+      check bool "object per line" true
+        (String.length line > 2
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}');
+      let seq = Printf.sprintf "{\"seq\":%d," (i + 1) in
+      check bool "seq counts up" true
+        (String.length line >= String.length seq
+        && String.sub line 0 (String.length seq) = seq))
+    lines;
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check bool "kind serialized" true
+    (contains (List.nth lines 0) "\"kind\":\"retry\"");
+  check bool "quotes escaped" true
+    (contains (List.nth lines 1) "cell \\\"7\\\"")
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate () =
+  check int "in range" 4 (get_ok (Val.int_in_range ~what:"--jobs" ~min:1 ~max:64 "4"));
+  check int "trimmed" 4 (get_ok (Val.int_in_range ~what:"--jobs" ~min:1 ~max:64 " 4 "));
+  let bad s =
+    check string ("rejects " ^ s) "invalid-operand"
+      (E.code_name (code (Val.int_in_range ~what:"--jobs" ~min:1 ~max:64 s)))
+  in
+  bad "fuor";
+  bad "";
+  bad "0";
+  bad "65";
+  bad "1e2";
+  check string "negative float rejected" "invalid-operand"
+    (E.code_name (code (Val.non_negative_float ~what:"--timeout-ms" "-1")));
+  check bool "float ok" true
+    (get_ok (Val.non_negative_float ~what:"--timeout-ms" "250.5") = 250.5)
+
+let test_validate_env () =
+  Unix.putenv "PROMISE_TEST_INT" "8";
+  check bool "env set" true
+    (get_ok (Val.env_int ~name:"PROMISE_TEST_INT" ~min:1 ~max:64) = Some 8);
+  Unix.putenv "PROMISE_TEST_INT" "junk";
+  (match Val.env_int ~name:"PROMISE_TEST_INT" ~min:1 ~max:64 with
+  | Ok _ -> fail "junk env accepted"
+  | Error e ->
+      check string "typed env error" "invalid-operand" (E.code_name e.E.code);
+      check bool "names the variable" true
+        (List.exists (fun (_, v) -> v = "PROMISE_TEST_INT") e.E.context));
+  Unix.putenv "PROMISE_TEST_INT" "";
+  check bool "blank is unset" true
+    (get_ok (Val.env_int ~name:"PROMISE_TEST_INT" ~min:1 ~max:64) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervise_quarantine () =
+  let buf = Buffer.create 256 in
+  let inc = Inc.to_buffer buf in
+  let retry =
+    get_ok
+      (Retry.policy ~max_attempts:3 ~base_delay_ms:1.0 ~max_delay_ms:2.0
+         ~seed:0 ())
+  in
+  let cfg = Sup.config ~retry ~incidents:inc ~sleep:(fun _ -> ()) () in
+  let calls = ref 0 in
+  let r =
+    Sup.supervise cfg ~label:"cell-3" (fun ~attempt:_ ->
+        incr calls;
+        E.fail ~layer:"test" "broken cell")
+  in
+  check int "all attempts used" 3 !calls;
+  check string "quarantined as retry-exhausted" "retry-exhausted"
+    (E.code_name (code r));
+  (* 2 retries + 1 quarantine in the incident trail *)
+  check int "incidents logged" 3 (Inc.count inc)
+
+let test_supervise_catches_exceptions () =
+  let cfg = Sup.config () in
+  let r =
+    Sup.supervise cfg ~label:"boom" (fun ~attempt:_ -> failwith "kaboom")
+  in
+  match r with
+  | Ok _ -> fail "expected the exception to become an Error"
+  | Error e ->
+      check bool "captured exception in context" true
+        (List.mem_assoc "exn" e.E.context)
+
+let test_supervise_timeout_fake_clock () =
+  (* a clock that jumps 100 ms per reading: every attempt is overdue *)
+  let now = ref 0L in
+  let clock () =
+    now := Int64.add !now 100_000_000L;
+    !now
+  in
+  let buf = Buffer.create 256 in
+  let inc = Inc.to_buffer buf in
+  let cfg =
+    Sup.config ~timeout_ms:10.0 ~clock ~incidents:inc ~live_watchdog:false
+      ~sleep:(fun _ -> ())
+      ()
+  in
+  let r = Sup.supervise cfg ~label:"slow" (fun ~attempt:_ -> Ok 42) in
+  check string "overdue attempt becomes Timeout" "timeout"
+    (E.code_name (code r));
+  check bool "timeout incident logged" true (Inc.count inc >= 1)
+
+let test_supervise_no_deadline_is_transparent () =
+  let cfg = Sup.config () in
+  check bool "value passes through" true
+    (Sup.supervise cfg ~label:"ok" (fun ~attempt:_ -> Ok "v") = Ok "v")
+
+let test_map_result_isolates () =
+  P.Pool.with_pool ~jobs:4 (fun pool ->
+      let cfg = Sup.config () in
+      let out =
+        Sup.map_result ~pool cfg
+          ~label:(Printf.sprintf "item-%d")
+          (fun i ->
+            if i mod 2 = 0 then E.fail ~layer:"test" "even items break"
+            else Ok (10 * i))
+          [ 1; 2; 3; 4; 5 ]
+      in
+      check int "every slot filled" 5 (List.length out);
+      List.iteri
+        (fun idx r ->
+          let i = idx + 1 in
+          match r with
+          | Ok v ->
+              check bool "odd survives" true (i mod 2 = 1);
+              check int "value" (10 * i) v
+          | Error _ -> check bool "even quarantined" true (i mod 2 = 0))
+        out)
+
+let test_stop_flag () =
+  let stop = Sup.never_stop () in
+  check bool "initially unset" false (Sup.stop_requested stop);
+  Sup.request_stop stop;
+  check bool "set" true (Sup.stop_requested stop);
+  check bool "no signal for programmatic stop" true (Sup.stop_signal stop = None)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: interrupt + resume == uninterrupted, bit for bit          *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_fixture () =
+  let scenarios =
+    match P.Campaign.quick_scenarios () with
+    | a :: b :: _ -> [ a; b ]
+    | _ -> fail "expected at least two quick scenarios"
+  in
+  let benchmarks = [ P.Benchmarks.matched_filter () ] in
+  (scenarios, benchmarks)
+
+let render_results results =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  P.Campaign.print_cell_results ppf results;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_campaign_resume_bit_identical () =
+  let scenarios, benchmarks = campaign_fixture () in
+  (* 1: uninterrupted reference run *)
+  let reference =
+    match
+      P.Campaign.run_cells_supervised Sup.plain ~scenarios ~benchmarks ()
+    with
+    | P.Campaign.Completed results -> results
+    | _ -> fail "uninterrupted run did not complete"
+  in
+  (* 2: interrupt after the first checkpoint flush *)
+  let path = tmp_path ".ckpt" in
+  let stop = Sup.never_stop () in
+  let session = Sup.session ~checkpoint:path ~stop () in
+  let interrupted =
+    (* the first flush (after baselines) reports 0 grid cells; stop at
+       the first flush that shows real grid progress *)
+    P.Campaign.run_cells_supervised session
+      ~on_checkpoint:(fun ~completed ~total:_ ->
+        if completed >= 1 then Sup.request_stop stop)
+      ~scenarios ~benchmarks ()
+  in
+  (match interrupted with
+  | P.Campaign.Interrupted { completed; total } ->
+      check bool "made progress before the stop" true (completed >= 1);
+      check bool "stopped before the end" true (completed < total)
+  | _ -> fail "expected the run to be interrupted");
+  check bool "checkpoint left behind" true (Ckpt.exists path);
+  (* 3: resume to completion *)
+  let resumed_session = Sup.session ~checkpoint:path ~resume:true () in
+  let resumed =
+    match
+      P.Campaign.run_cells_supervised resumed_session ~scenarios ~benchmarks
+        ()
+    with
+    | P.Campaign.Completed results -> results
+    | _ -> fail "resumed run did not complete"
+  in
+  check bool "completed run removed its checkpoint" false (Ckpt.exists path);
+  check bool "resumed cells == uninterrupted cells" true (resumed = reference);
+  check string "rendered tables are bit-identical"
+    (render_results reference) (render_results resumed)
+
+let test_campaign_stale_checkpoint_rejected () =
+  let scenarios, benchmarks = campaign_fixture () in
+  let path = tmp_path ".ckpt" in
+  let stop = Sup.never_stop () in
+  let session = Sup.session ~checkpoint:path ~stop () in
+  (match
+     P.Campaign.run_cells_supervised session
+       ~on_checkpoint:(fun ~completed:_ ~total:_ -> Sup.request_stop stop)
+       ~scenarios ~benchmarks ()
+   with
+  | P.Campaign.Interrupted _ -> ()
+  | _ -> fail "expected an interrupted run");
+  (* resuming under a different scenario set must be refused *)
+  let other_scenarios = P.Campaign.quick_scenarios () in
+  let resumed_session = Sup.session ~checkpoint:path ~resume:true () in
+  (match
+     P.Campaign.run_cells_supervised resumed_session
+       ~scenarios:other_scenarios ~benchmarks ()
+   with
+  | P.Campaign.Rejected e ->
+      check string "typed rejection" "stale-checkpoint" (E.code_name e.E.code)
+  | _ -> fail "expected the stale checkpoint to be rejected");
+  Ckpt.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Report sections: supervised == plain printer                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_supervised_matches_plain () =
+  let names = [ "table1"; "table3"; "eq3" ] in
+  let names =
+    List.filter
+      (fun n -> List.exists (fun (s, _, _) -> s = n) P.Report.sections)
+      names
+  in
+  check bool "fixture sections exist" true (List.length names >= 2);
+  let plain =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    P.Report.print_sections ppf
+      (List.filter_map
+         (fun n ->
+           List.find_opt (fun (s, _, _) -> s = n) P.Report.sections
+           |> Option.map (fun (_, _, f) -> f))
+         names);
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let supervised =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    (match P.Report.run_sections_supervised Sup.plain ppf names with
+    | P.Report.Sections_done { quarantined } ->
+        check int "nothing quarantined" 0 quarantined
+    | _ -> fail "supervised render did not complete");
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  check string "supervised output == plain output" plain supervised
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "supervision"
+    [
+      ( "retry",
+        [
+          QCheck_alcotest.to_alcotest qcheck_retry_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_retry_bounded;
+          QCheck_alcotest.to_alcotest qcheck_retry_attempts_bounded;
+          Alcotest.test_case "exhaustion error + schedule replay" `Quick
+            test_retry_exhaustion_error;
+          Alcotest.test_case "policy validation" `Quick
+            test_retry_policy_validation;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "stale digest rejected" `Quick
+            test_checkpoint_stale;
+          Alcotest.test_case "corrupt and missing files" `Quick
+            test_checkpoint_corrupt_and_missing;
+        ] );
+      ( "incidents",
+        [ Alcotest.test_case "JSONL shape" `Quick test_incident_jsonl ] );
+      ( "validate",
+        [
+          Alcotest.test_case "flag parsing" `Quick test_validate;
+          Alcotest.test_case "environment variables" `Quick test_validate_env;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "quarantine after retries" `Quick
+            test_supervise_quarantine;
+          Alcotest.test_case "exceptions become typed errors" `Quick
+            test_supervise_catches_exceptions;
+          Alcotest.test_case "deadline enforcement (fake clock)" `Quick
+            test_supervise_timeout_fake_clock;
+          Alcotest.test_case "no deadline is transparent" `Quick
+            test_supervise_no_deadline_is_transparent;
+          Alcotest.test_case "map_result isolates failures" `Quick
+            test_map_result_isolates;
+          Alcotest.test_case "stop flag" `Quick test_stop_flag;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "campaign interrupt+resume is bit-identical"
+            `Slow test_campaign_resume_bit_identical;
+          Alcotest.test_case "stale campaign checkpoint rejected" `Slow
+            test_campaign_stale_checkpoint_rejected;
+          Alcotest.test_case "supervised report == plain report" `Slow
+            test_report_supervised_matches_plain;
+        ] );
+    ]
