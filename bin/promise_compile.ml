@@ -16,7 +16,23 @@ let die msg =
 
 let die_err e = die (P.Error.to_string e)
 
-let run path binary show_ir swing =
+(* --lint: overflow interval analysis on the IR graph plus the
+   whole-program ISA verifier on the emitted Tasks.  (SSA validation
+   always runs inside [P.compile]; it fails closed even without
+   --lint.)  The report goes to stderr so stdout stays the program. *)
+let lint_program ~format ~target graph program =
+  let _, ovf = P.Analysis.Interval.analyze graph in
+  let isa = P.Analysis.Isa_check.check_program program.P.Isa.Program.tasks in
+  let report = P.Analysis.Lint.make ~target (ovf @ isa) in
+  (match format with
+  | "json" -> prerr_endline (P.Analysis.Lint.render_json [ report ])
+  | _ ->
+      prerr_string (P.Analysis.Lint.render_text report);
+      prerr_endline (P.Analysis.Lint.summary [ report ]));
+  if P.Analysis.Lint.exit_code [ report ] <> 0 then
+    die "lint reported errors (see diagnostics above)"
+
+let run path binary show_ir swing lint no_lint lint_format =
   let kernel =
     match P.Ir.Sexp_frontend.parse_file path with
     | Ok k -> k
@@ -38,6 +54,8 @@ let run path binary show_ir swing =
     | Ok p -> p
     | Error e -> die_err e
   in
+  if lint && not no_lint then
+    lint_program ~format:lint_format ~target:path graph program;
   (match binary with
   | Some out ->
       let oc = open_out_bin out in
@@ -73,6 +91,36 @@ let swing_arg =
     & opt (some int) None
     & info [ "swing" ] ~docv:"N" ~doc:"Force SWING code 0-7 on every task.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the promise-lint analyses (interval overflow, Task-ISA \
+           verifier) on the compiled program; the report goes to stderr.")
+
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ] ~doc:"Disable linting (overrides $(b,--lint)).")
+
+let lint_format_conv =
+  Arg.conv
+    ( (fun s ->
+        match
+          P.Validate.enum ~what:"--lint-format" ~values:[ "text"; "json" ] s
+        with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_string )
+
+let lint_format_arg =
+  Arg.(
+    value
+    & opt lint_format_conv "text"
+    & info [ "lint-format" ] ~docv:"FMT"
+        ~doc:"Lint report format: $(b,text) or $(b,json).")
+
 let () =
   let info =
     Cmd.info "promise-compile" ~version:Promise.version
@@ -81,4 +129,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.v info
-          Term.(ret (const run $ path_arg $ binary_arg $ ir_arg $ swing_arg))))
+          Term.(
+            ret
+              (const run $ path_arg $ binary_arg $ ir_arg $ swing_arg
+             $ lint_arg $ no_lint_arg $ lint_format_arg))))

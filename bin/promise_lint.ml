@@ -1,0 +1,178 @@
+(* promise-lint: static analysis for PROMISE programs.
+
+   Lints .pasm assembly files (whole-program Task-ISA verification),
+   .sexp DSL kernels (SSA validation + interval overflow analysis +
+   ISA verification of the compiled Tasks) and the compiled Table-2
+   benchmarks.
+
+   Exit codes: 0 = clean (warnings allowed), 1 = error diagnostics,
+   2 = usage or I/O failure. *)
+
+module P = Promise
+module Diag = P.Diag
+module Lint = P.Analysis.Lint
+module Ssa_check = P.Analysis.Ssa_check
+module Isa_check = P.Analysis.Isa_check
+module Interval = P.Analysis.Interval
+module B = P.Benchmarks
+
+exception Io_failure of string
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> raise (Io_failure msg)
+
+(* .sexp kernels run the full frontend + backend under the linter:
+   SSA validation on the lowered function, interval analysis on the
+   matched graph, then whole-program ISA verification of the compiled
+   Tasks. A frontend/backend failure is itself a diagnostic. *)
+let lint_kernel ~target src =
+  match P.Ir.Sexp_frontend.parse src with
+  | Error msg ->
+      Lint.make ~target [ Diag.errorf ~code:"P-ASM-001" "parse error: %s" msg ]
+  | Ok kernel -> (
+      match P.Ir.Dsl.lower kernel with
+      | exception Invalid_argument msg ->
+          Lint.make ~target [ Diag.errorf ~code:"P-SSA-005" "%s" msg ]
+      | ssa -> (
+          let ssa_diags = Ssa_check.validate ssa in
+          if Diag.count_errors ssa_diags > 0 then Lint.make ~target ssa_diags
+          else
+            match P.Ir.Pattern.match_function ssa with
+            | Error msg ->
+                Lint.make ~target
+                  (ssa_diags
+                  @ [
+                      Diag.errorf ~code:"P-OVF-004"
+                        "kernel does not match the Figure-7 pattern: %s" msg;
+                    ])
+            | Ok graph -> (
+                let _, ovf_diags = Interval.analyze graph in
+                match P.Compiler.Lower.program_of_graph graph with
+                | Error e ->
+                    Lint.make ~target
+                      (ssa_diags @ ovf_diags
+                      @ [
+                          Diag.errorf ~code:"P-OVF-004" "lowering failed: %s"
+                            (P.Error.to_string e);
+                        ])
+                | Ok program ->
+                    Lint.make ~target
+                      (ssa_diags @ ovf_diags
+                      @ Isa_check.check_program
+                          program.P.Isa.Program.tasks))))
+
+let lint_file path =
+  let src = read_file path in
+  if Filename.check_suffix path ".pasm" then Lint.lint_pasm ~target:path src
+  else if Filename.check_suffix path ".sexp" then lint_kernel ~target:path src
+  else
+    raise
+      (Io_failure
+         (Printf.sprintf "%s: unknown input kind (expected .pasm or .sexp)"
+            path))
+
+(* The nine Table-2 benchmarks: the Figure-10 suite plus DNN-1. *)
+let benchmark_suite () = B.fig10_suite () @ [ B.dnn B.D1 ]
+
+let lint_benchmark ?pm (b : B.t) =
+  let isa = Isa_check.check_program b.B.per_decision_program.P.Isa.Program.tasks in
+  let _, ovf = Interval.analyze b.B.graph in
+  let stats =
+    match (pm, b.B.stats) with
+    | Some pm, Some s ->
+        Interval.check_stats ~ea:s.P.Compiler.Precision.ea
+          ~ew:s.P.Compiler.Precision.ew ~pm
+    | _ -> []
+  in
+  Lint.make ~target:("benchmark:" ^ b.B.name) (isa @ ovf @ stats)
+
+let run files benchmarks pm format =
+  match P.check_env () with
+  | Error e ->
+      prerr_endline (P.Error.to_string e);
+      2
+  | Ok () -> (
+      if files = [] && not benchmarks then begin
+        prerr_endline
+          "promise-lint: nothing to lint (give FILES or --benchmarks)";
+        2
+      end
+      else
+        try
+          let reports =
+            List.map lint_file files
+            @
+            if benchmarks then List.map (lint_benchmark ?pm) (benchmark_suite ())
+            else []
+          in
+          (match format with
+          | "json" -> print_string (Lint.render_json reports ^ "\n")
+          | _ ->
+              List.iter (fun r -> print_string (Lint.render_text r)) reports;
+              print_endline (Lint.summary reports));
+          Lint.exit_code reports
+        with Io_failure msg ->
+          prerr_endline ("promise-lint: " ^ msg);
+          2)
+
+open Cmdliner
+
+let files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILES" ~doc:"Inputs: $(b,.pasm) assembly or $(b,.sexp) DSL kernels.")
+
+let benchmarks_arg =
+  Arg.(
+    value & flag
+    & info [ "benchmarks" ]
+        ~doc:"Lint the nine compiled Table-2 benchmark programs and graphs.")
+
+let pm_conv =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.non_negative_float ~what:"--pm" s with
+        | Ok v when v > 0.0 -> Ok v
+        | Ok _ -> Error (`Msg "--pm must be > 0")
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_float )
+
+let pm_arg =
+  Arg.(
+    value
+    & opt (some pm_conv) None
+    & info [ "pm" ] ~docv:"P"
+        ~doc:
+          "Also check Sakr precision feasibility (P-OVF-003) of benchmark \
+           statistics against mismatch budget $(docv).")
+
+let format_conv =
+  Arg.conv
+    ( (fun s ->
+        match
+          P.Validate.enum ~what:"--format" ~values:[ "text"; "json" ] s
+        with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_string )
+
+let format_arg =
+  Arg.(
+    value & opt format_conv "text"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Report format: $(b,text) or $(b,json) (the CI artifact).")
+
+let () =
+  let info =
+    Cmd.info "promise-lint" ~version:P.version
+      ~doc:"static analysis for PROMISE programs"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(const run $ files_arg $ benchmarks_arg $ pm_arg $ format_arg)))

@@ -1,0 +1,45 @@
+module Diag = Promise_core.Diag
+
+type report = { target : string; diags : Diag.t list }
+
+let make ~target diags = { target; diags = Diag.sort diags }
+
+let lint_pasm ~target src =
+  match Promise_isa.Asm.parse_program_located src with
+  | Error d -> make ~target [ d ]
+  | Ok located -> make ~target (Isa_check.check_program_located located)
+
+let errors r = Diag.count_errors r.diags
+let warnings r = Diag.count_warnings r.diags
+let total_errors rs = List.fold_left (fun n r -> n + errors r) 0 rs
+let total_warnings rs = List.fold_left (fun n r -> n + warnings r) 0 rs
+
+(* Exit-code contract: 0 = clean (warnings allowed), 1 = at least one
+   error-severity diagnostic. Usage/IO failures are the CLI's 2. *)
+let exit_code rs = if total_errors rs > 0 then 1 else 0
+
+let summary rs =
+  Printf.sprintf "%d error(s), %d warning(s) in %d target(s)" (total_errors rs)
+    (total_warnings rs) (List.length rs)
+
+let render_text r =
+  let buf = Buffer.create 256 in
+  if r.diags = [] then Buffer.add_string buf (r.target ^ ": clean\n")
+  else
+    List.iter
+      (fun d ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %s\n" r.target (Diag.to_string d)))
+      r.diags;
+  Buffer.contents buf
+
+let render_json rs =
+  let target r =
+    Printf.sprintf
+      {|{"target":"%s","errors":%d,"warnings":%d,"diagnostics":%s}|}
+      (Diag.json_escape r.target) (errors r) (warnings r)
+      (Diag.list_to_json r.diags)
+  in
+  Printf.sprintf {|{"summary":{"errors":%d,"warnings":%d},"targets":[%s]}|}
+    (total_errors rs) (total_warnings rs)
+    (String.concat "," (List.map target rs))

@@ -1,0 +1,34 @@
+(** Lint report assembly and rendering, shared by [promise-lint], the
+    [--lint] flags of the other CLIs, and the test suite.
+
+    A {!report} is one lint target (a [.pasm] file, a DSL kernel, a
+    benchmark) with its sorted diagnostics. *)
+
+type report = { target : string; diags : Promise_core.Diag.t list }
+
+val make : target:string -> Promise_core.Diag.t list -> report
+(** Sorts the diagnostics. *)
+
+val lint_pasm : target:string -> string -> report
+(** Parse assembly source and run the whole-program ISA verifier; a
+    parse failure becomes the report's single diagnostic. *)
+
+val errors : report -> int
+val warnings : report -> int
+val total_errors : report list -> int
+val total_warnings : report list -> int
+
+val exit_code : report list -> int
+(** 0 when no error-severity diagnostics (warnings allowed), 1
+    otherwise. CLI usage/IO failures use exit code 2 on top of this. *)
+
+val summary : report list -> string
+(** One line: ["N error(s), M warning(s) in K target(s)"]. *)
+
+val render_text : report -> string
+(** One line per diagnostic, prefixed with the target; ["<target>:
+    clean"] when empty. *)
+
+val render_json : report list -> string
+(** A single JSON object with a summary and per-target diagnostics —
+    the CI artifact format. *)

@@ -1,0 +1,190 @@
+module Diag = Promise_core.Diag
+module At = Promise_ir.Abstract_task
+module Graph = Promise_ir.Graph
+module Layout = Promise_arch.Layout
+
+type bounds = { lo : float; hi : float }
+
+(* Largest positive code of the signed 8-bit datapath: 127/128. *)
+let code_max = 127.0 /. 128.0
+let full_range = { lo = -1.0; hi = code_max }
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+let scale a k =
+  if k >= 0.0 then { lo = a.lo *. k; hi = a.hi *. k }
+  else { lo = a.hi *. k; hi = a.lo *. k }
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  {
+    lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+  }
+
+let abs_bounds a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then { lo = -.a.hi; hi = -.a.lo }
+  else { lo = 0.0; hi = Float.max (-.a.lo) a.hi }
+
+let square a =
+  let b = abs_bounds a in
+  { lo = b.lo *. b.lo; hi = b.hi *. b.hi }
+
+let clamp a ~lo ~hi = { lo = Float.max lo a.lo; hi = Float.min hi a.hi }
+
+type node_report = {
+  node : int;
+  name : string;
+  emitted : bounds;
+  quantized : bool;
+  saturates : bool;
+}
+
+let analyze g =
+  let diags = ref [] in
+  let add_diag d = diags := d :: !diags in
+  let emitted : (int, bounds) Hashtbl.t = Hashtbl.create 16 in
+  let saturated : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let reports = ref [] in
+  List.iter
+    (fun id ->
+      let at = Graph.task g id in
+      let span = Diag.Node id in
+      match
+        Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations ()
+      with
+      | Error msg ->
+          add_diag
+            (Diag.errorf ~code:"P-OVF-004" ~span
+               "task %S has no bank placement: %s" at.At.name msg);
+          Hashtbl.replace emitted id full_range
+      | Ok plan ->
+          let segments = plan.Layout.segments in
+          let preds = Graph.predecessors g id in
+          (* P-OVF-002: inheriting a clamped (saturated) operand *)
+          List.iter
+            (fun (p, _) ->
+              if Hashtbl.mem saturated p then
+                add_diag
+                  (Diag.warningf ~code:"P-OVF-002" ~span
+                     "task %S reads the saturated output of task %d" at.At.name
+                     p))
+            preds;
+          let x =
+            match
+              List.find_opt
+                (fun (_, port) -> Graph.equal_port port Graph.X_input)
+                preds
+            with
+            | Some (p, _) ->
+                (* the producer's value reaches X through an 8-bit
+                   register surface *)
+                clamp (Hashtbl.find emitted p) ~lo:(-1.0) ~hi:code_max
+            | None -> full_range (* host-preloaded X-REG codes *)
+          in
+          let w = full_range in
+          let elem =
+            match at.At.vec_op with
+            | At.Vo_none -> w
+            | At.Vo_add -> scale (add w x) 0.5
+            | At.Vo_sub -> scale (sub w x) 0.5
+            | At.Vo_mul_signed -> mul w x
+            | At.Vo_mul_unsigned -> mul w (abs_bounds x)
+          in
+          let shaped =
+            match at.At.red_op with
+            | At.Ro_sum -> elem
+            | At.Ro_sum_abs -> abs_bounds elem
+            | At.Ro_sum_square -> square elem
+            | At.Ro_sum_compare -> { lo = 0.0; hi = 1.0 }
+          in
+          (* Charge-sharing is a mean over lanes (interval-preserving);
+             the ADC clamps each sample to ±1 full scale. *)
+          let sample = clamp shaped ~lo:(-1.0) ~hi:1.0 in
+          (* The TH stage accumulates ACC_NUM+1 = segments samples per
+             emitted value. *)
+          let acc = scale sample (float_of_int segments) in
+          let post =
+            match at.At.digital_op with
+            | At.Do_none -> acc
+            | At.Do_mean -> scale acc (1.0 /. float_of_int segments)
+            | At.Do_sigmoid -> { lo = 0.0; hi = 1.0 }
+            | At.Do_relu -> { lo = 0.0; hi = Float.max 0.0 acc.hi }
+            | At.Do_threshold -> { lo = 0.0; hi = 1.0 }
+            | At.Do_min | At.Do_max -> acc
+          in
+          let terminal = Graph.successors g id = [] in
+          (* Mirror of Lower.destination_of: only intermediate
+             sigmoid/relu activations land in the 8-bit X-REG; terminal
+             results go to the (host-float) output buffer. *)
+          let quantized =
+            match at.At.digital_op with
+            | At.Do_sigmoid | At.Do_relu -> not terminal
+            | _ -> false
+          in
+          let saturates = quantized && (post.lo < -1.0 || post.hi > 1.0) in
+          if saturates then begin
+            Hashtbl.replace saturated id ();
+            add_diag
+              (Diag.errorf ~code:"P-OVF-001" ~span
+                 "task %S emits [%.3f, %.3f] into an 8-bit register that \
+                  holds [-1, %.3f]: values saturate"
+                 at.At.name post.lo post.hi code_max)
+          end;
+          let out =
+            if quantized then clamp post ~lo:(-1.0) ~hi:code_max else post
+          in
+          Hashtbl.replace emitted id out;
+          reports :=
+            { node = id; name = at.At.name; emitted = out; quantized; saturates }
+            :: !reports)
+    (Graph.topological_order g);
+  (List.rev !reports, Diag.sort (List.rev !diags))
+
+(* ---- Sakr-style precision feasibility (paper §4.3) ----
+
+   Mirrors Promise_compiler.Precision.min_activation_bits at the fixed
+   weight precision of the 8-bit datapath; test_lint cross-checks the
+   two implementations stay equal. The dependency points this way
+   (compiler depends on analysis), hence the re-derivation. *)
+
+let weight_bits = 7
+let delta ~bits = 2.0 ** float_of_int (-(bits - 1))
+
+let min_bits ~ea ~ew ~pm =
+  if pm <= 0.0 then Error "mismatch probability must be positive"
+  else
+    let dw = delta ~bits:weight_bits in
+    let weight_term = dw *. dw *. ew in
+    if weight_term >= pm then
+      Error
+        (Printf.sprintf
+           "weight quantization alone (%.4g) exceeds the p_m budget %.4g"
+           weight_term pm)
+    else
+      let rec search ba =
+        if ba > 16 then Error "activation precision above 16 bits required"
+        else
+          let da = delta ~bits:ba in
+          if (da *. da *. ea) +. weight_term <= pm then Ok ba
+          else search (ba + 1)
+      in
+      search 1
+
+let check_stats ~ea ~ew ~pm =
+  match min_bits ~ea ~ew ~pm with
+  | Error msg ->
+      [
+        Diag.errorf ~code:"P-OVF-003"
+          "precision assignment infeasible at p_m = %.4g: %s" pm msg;
+      ]
+  | Ok ba when ba > 8 ->
+      [
+        Diag.errorf ~code:"P-OVF-003"
+          "meeting p_m = %.4g needs %d activation bits; the PROMISE datapath \
+           is 8-bit"
+          pm ba;
+      ]
+  | Ok _ -> []

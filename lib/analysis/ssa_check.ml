@@ -1,0 +1,362 @@
+module Diag = Promise_core.Diag
+module Ssa = Promise_ir.Ssa
+module SS = Set.Make (String)
+
+let ty_name t = Format.asprintf "%a" Ssa.pp_ty t
+
+let validate (f : Ssa.func) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let blocks = f.Ssa.blocks in
+  if blocks = [] then
+    add (Diag.make ~code:"P-SSA-007" "function has no entry block");
+  (* ---- block labels (P-SSA-001) ---- *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ssa.block) ->
+      if Hashtbl.mem labels b.label then
+        add
+          (Diag.errorf ~code:"P-SSA-001" ~span:(Diag.Block b.label)
+             "duplicate block label %S" b.label)
+      else Hashtbl.add labels b.label ())
+    blocks;
+  (* ---- single assignment (P-SSA-002): register id ranges must not
+     overlap — registers are numbered positionally, so overlapping
+     [first_index, first_index + length) windows mean a register has
+     two defining instructions. ---- *)
+  let ranges =
+    List.filter_map
+      (fun (b : Ssa.block) ->
+        if Array.length b.Ssa.instrs = 0 then None
+        else Some (b.Ssa.first_index, Array.length b.Ssa.instrs, b.Ssa.label))
+      blocks
+    |> List.sort compare
+  in
+  let rec check_overlap = function
+    | (s1, n1, l1) :: ((s2, _, l2) :: _ as rest) ->
+        if s2 < s1 + n1 then
+          add
+            (Diag.errorf ~code:"P-SSA-002" ~span:(Diag.Block l2)
+               "register %%%d defined more than once (blocks %S and %S \
+                overlap)"
+               s2 l1 l2);
+        check_overlap rest
+    | _ -> ()
+  in
+  check_overlap ranges;
+  (* ---- definition sites ---- *)
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Ssa.block) ->
+      Array.iteri
+        (fun i instr ->
+          let id = b.Ssa.first_index + i in
+          if not (Hashtbl.mem defs id) then Hashtbl.add defs id (b.Ssa.label, instr))
+        b.Ssa.instrs)
+    blocks;
+  (* ---- CFG ---- *)
+  let succs (b : Ssa.block) =
+    match b.Ssa.terminator with
+    | Ssa.Br l -> [ l ]
+    | Ssa.Cond_br { if_true; if_false; _ } -> [ if_true; if_false ]
+    | Ssa.Ret _ -> []
+  in
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ssa.block) -> Hashtbl.replace preds b.Ssa.label SS.empty)
+    blocks;
+  List.iter
+    (fun (b : Ssa.block) ->
+      List.iter
+        (fun l ->
+          match Hashtbl.find_opt preds l with
+          | Some s -> Hashtbl.replace preds l (SS.add b.Ssa.label s)
+          | None -> ())
+        (succs b))
+    blocks;
+  let preds_of l =
+    match Hashtbl.find_opt preds l with Some s -> s | None -> SS.empty
+  in
+  (* ---- dominators (iterative dataflow; CFGs here are tiny) ---- *)
+  let all =
+    List.fold_left (fun s (b : Ssa.block) -> SS.add b.Ssa.label s) SS.empty blocks
+  in
+  let dom = Hashtbl.create 16 in
+  (match blocks with
+  | [] -> ()
+  | entry_block :: _ ->
+      let entry = entry_block.Ssa.label in
+      SS.iter
+        (fun l ->
+          Hashtbl.replace dom l
+            (if String.equal l entry then SS.singleton entry else all))
+        all;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (b : Ssa.block) ->
+            if not (String.equal b.Ssa.label entry) then begin
+              let inter =
+                SS.fold
+                  (fun p acc ->
+                    let dp =
+                      match Hashtbl.find_opt dom p with
+                      | Some s -> s
+                      | None -> all
+                    in
+                    match acc with
+                    | None -> Some dp
+                    | Some a -> Some (SS.inter a dp))
+                  (preds_of b.Ssa.label) None
+              in
+              let nd =
+                SS.add b.Ssa.label
+                  (match inter with Some s -> s | None -> all)
+              in
+              if not (SS.equal nd (Hashtbl.find dom b.Ssa.label)) then begin
+                Hashtbl.replace dom b.Ssa.label nd;
+                changed := true
+              end
+            end)
+          blocks
+      done);
+  let dominates a b =
+    match Hashtbl.find_opt dom b with Some s -> SS.mem a s | None -> false
+  in
+  (* ---- permissive type inference (unknowns check nothing) ---- *)
+  let ty_cache = Hashtbl.create 64 in
+  let visiting = Hashtbl.create 16 in
+  let rec ty_of_value v =
+    match v with
+    | Ssa.Const_int _ -> Some Ssa.Scalar_int
+    | Ssa.Const_float _ -> Some Ssa.Scalar_float
+    | Ssa.Arg name -> Ssa.param_ty f name
+    | Ssa.Vreg id -> (
+        match Hashtbl.find_opt ty_cache id with
+        | Some t -> t
+        | None ->
+            if Hashtbl.mem visiting id then None
+            else begin
+              Hashtbl.add visiting id ();
+              let t =
+                match Hashtbl.find_opt defs id with
+                | None -> None
+                | Some (_, instr) -> ty_of_instr instr
+              in
+              Hashtbl.remove visiting id;
+              Hashtbl.replace ty_cache id t;
+              t
+            end)
+  and ty_of_instr instr =
+    match instr with
+    | Ssa.Getindex { matrix; _ } -> (
+        match ty_of_value matrix with
+        | Some (Ssa.Matrix (_, c)) -> Some (Ssa.Vector c)
+        | _ -> None)
+    | Ssa.Vec_binop { lhs; rhs; _ } -> (
+        match (ty_of_value lhs, ty_of_value rhs) with
+        | Some (Ssa.Vector n), _ | _, Some (Ssa.Vector n) ->
+            Some (Ssa.Vector n)
+        | _ -> None)
+    | Ssa.Vec_unop { operand; _ } -> ty_of_value operand
+    | Ssa.Reduce _ -> Some Ssa.Scalar_float
+    | Ssa.Scalar_unop _ -> Some Ssa.Scalar_float
+    | Ssa.Int_binop _ -> Some Ssa.Scalar_int
+    | Ssa.Icmp _ -> Some Ssa.Scalar_int
+    | Ssa.Getelementptr _ -> Some Ssa.Ptr
+    | Ssa.Store _ | Ssa.Load _ | Ssa.Call _ -> None
+    | Ssa.Phi { incoming } -> (
+        let tys = List.filter_map (fun (_, v) -> ty_of_value v) incoming in
+        match tys with
+        | t :: rest when List.for_all (Ssa.equal_ty t) rest -> Some t
+        | _ -> None)
+  in
+  let is_vector = function Ssa.Vector _ -> true | _ -> false in
+  let is_scalar = function
+    | Ssa.Scalar_int | Ssa.Scalar_float -> true
+    | _ -> false
+  in
+  let is_int = function Ssa.Scalar_int -> true | _ -> false in
+  let expect span what pred v =
+    match ty_of_value v with
+    | None -> ()
+    | Some t ->
+        if not (pred t) then
+          add
+            (Diag.errorf ~code:"P-SSA-008" ~span "%s has type %s" what
+               (ty_name t))
+  in
+  let type_check span instr =
+    match instr with
+    | Ssa.Getindex { matrix; index } ->
+        expect span "getindex expects a matrix but the operand"
+          (function Ssa.Matrix _ -> true | _ -> false)
+          matrix;
+        expect span "getindex expects an integer index but the operand" is_int
+          index
+    | Ssa.Vec_binop { lhs; rhs; _ } -> (
+        expect span "vector binop expects a vector but the left operand"
+          is_vector lhs;
+        expect span "vector binop expects a vector but the right operand"
+          is_vector rhs;
+        match (ty_of_value lhs, ty_of_value rhs) with
+        | Some (Ssa.Vector n), Some (Ssa.Vector m) when n <> m ->
+            add
+              (Diag.errorf ~code:"P-SSA-008" ~span
+                 "vector length mismatch: %d vs %d" n m)
+        | _ -> ())
+    | Ssa.Vec_unop { operand; _ } ->
+        expect span "vector unop expects a vector but the operand" is_vector
+          operand
+    | Ssa.Reduce { operand; _ } ->
+        expect span "reduce expects a vector but the operand" is_vector operand
+    | Ssa.Scalar_unop { operand; _ } ->
+        expect span "scalar unop expects a scalar but the operand" is_scalar
+          operand
+    | Ssa.Int_binop { lhs; rhs; _ } ->
+        expect span "integer binop expects an integer but the left operand"
+          is_int lhs;
+        expect span "integer binop expects an integer but the right operand"
+          is_int rhs
+    | Ssa.Icmp { lhs; rhs; _ } ->
+        expect span "icmp expects a scalar but the left operand" is_scalar lhs;
+        expect span "icmp expects a scalar but the right operand" is_scalar rhs
+    | Ssa.Getelementptr { base; index } ->
+        expect span "getelementptr expects a vector or pointer base but it"
+          (function Ssa.Vector _ | Ssa.Ptr -> true | _ -> false)
+          base;
+        expect span "getelementptr expects an integer index but the operand"
+          is_int index
+    | Ssa.Store { ptr; _ } ->
+        expect span "store expects a pointer but the destination"
+          (function Ssa.Ptr -> true | _ -> false)
+          ptr
+    | Ssa.Load { ptr } ->
+        expect span "load expects a pointer but the operand"
+          (function Ssa.Ptr -> true | _ -> false)
+          ptr
+    | Ssa.Phi _ | Ssa.Call _ -> ()
+  in
+  (* ---- per-value checks ---- *)
+  let check_arg span name =
+    if Ssa.param_ty f name = None then
+      add (Diag.errorf ~code:"P-SSA-003" ~span "unknown argument %S" name)
+  in
+  let check_value ~block ~use_id ~span v =
+    match v with
+    | Ssa.Const_int _ | Ssa.Const_float _ -> ()
+    | Ssa.Arg name -> check_arg span name
+    | Ssa.Vreg id -> (
+        match Hashtbl.find_opt defs id with
+        | None ->
+            add
+              (Diag.errorf ~code:"P-SSA-002" ~span
+                 "use of undefined register %%%d" id)
+        | Some (def_block, _) ->
+            let ok =
+              if String.equal def_block block then id < use_id
+              else dominates def_block block
+            in
+            if not ok then
+              add
+                (Diag.errorf ~code:"P-SSA-006" ~span
+                   "definition of %%%d (block %S) does not dominate its use"
+                   id def_block))
+  in
+  let check_label span l =
+    if not (Hashtbl.mem labels l) then
+      add (Diag.errorf ~code:"P-SSA-004" ~span "unknown block label %S" l)
+  in
+  List.iter
+    (fun (b : Ssa.block) ->
+      let seen_non_phi = ref false in
+      Array.iteri
+        (fun i instr ->
+          let id = b.Ssa.first_index + i in
+          let span = Diag.Instr { block = b.Ssa.label; vreg = id } in
+          (match instr with
+          | Ssa.Phi { incoming } ->
+              if !seen_non_phi then
+                add
+                  (Diag.errorf ~code:"P-SSA-007" ~span
+                     "phi after a non-phi instruction");
+              if incoming = [] then
+                add
+                  (Diag.errorf ~code:"P-SSA-007" ~span
+                     "phi with no incoming values");
+              let ps = preds_of b.Ssa.label in
+              let seen = Hashtbl.create 4 in
+              List.iter
+                (fun (l, v) ->
+                  check_label span l;
+                  if Hashtbl.mem labels l then begin
+                    if Hashtbl.mem seen l then
+                      add
+                        (Diag.errorf ~code:"P-SSA-007" ~span
+                           "duplicate phi incoming label %S" l);
+                    Hashtbl.replace seen l ();
+                    if not (SS.mem l ps) then
+                      add
+                        (Diag.errorf ~code:"P-SSA-007" ~span
+                           "phi incoming label %S is not a predecessor of \
+                            block %S"
+                           l b.Ssa.label)
+                  end;
+                  (* A phi operand must be available at the END of the
+                     incoming predecessor, not at the phi itself — this
+                     admits the loop-carried forward references the DSL
+                     frontend emits. *)
+                  match v with
+                  | Ssa.Vreg rid -> (
+                      match Hashtbl.find_opt defs rid with
+                      | None ->
+                          add
+                            (Diag.errorf ~code:"P-SSA-002" ~span
+                               "use of undefined register %%%d" rid)
+                      | Some (def_block, _) ->
+                          if
+                            Hashtbl.mem labels l
+                            && not
+                                 (String.equal def_block l
+                                 || dominates def_block l)
+                          then
+                            add
+                              (Diag.errorf ~code:"P-SSA-006" ~span
+                                 "phi operand %%%d does not dominate the end \
+                                  of predecessor %S"
+                                 rid l))
+                  | Ssa.Arg name -> check_arg span name
+                  | Ssa.Const_int _ | Ssa.Const_float _ -> ())
+                incoming;
+              SS.iter
+                (fun p ->
+                  if not (List.exists (fun (l, _) -> String.equal l p) incoming)
+                  then
+                    add
+                      (Diag.errorf ~code:"P-SSA-007" ~span
+                         "phi is missing an incoming value for predecessor %S"
+                         p))
+                ps
+          | _ ->
+              seen_non_phi := true;
+              List.iter
+                (check_value ~block:b.Ssa.label ~use_id:id ~span)
+                (Ssa.instr_operands instr));
+          type_check span instr)
+        b.Ssa.instrs;
+      let tspan = Diag.Block b.Ssa.label in
+      let term_id = b.Ssa.first_index + Array.length b.Ssa.instrs in
+      let term_use v =
+        check_value ~block:b.Ssa.label ~use_id:term_id ~span:tspan v
+      in
+      match b.Ssa.terminator with
+      | Ssa.Br l -> check_label tspan l
+      | Ssa.Cond_br { cond; if_true; if_false } ->
+          term_use cond;
+          check_label tspan if_true;
+          check_label tspan if_false
+      | Ssa.Ret (Some v) -> term_use v
+      | Ssa.Ret None -> ())
+    blocks;
+  Diag.sort (List.rev !diags)

@@ -1,0 +1,26 @@
+(** SSA validator (lint pass 2 of 3).
+
+    Validates a {!Promise_ir.Ssa.func} beyond the structural
+    [Ssa.verify] the builder already runs: single assignment,
+    def-dominates-use over the CFG, terminator/phi well-formedness and
+    permissive per-instruction type checking. Run on every frontend
+    output so pattern-matcher bugs surface as diagnostics instead of
+    downstream miscompiles.
+
+    Diagnostic codes:
+    - [P-SSA-001] duplicate block label
+    - [P-SSA-002] use of an undefined register / register defined twice
+    - [P-SSA-003] unknown argument
+    - [P-SSA-004] unknown block label (branch or phi)
+    - [P-SSA-005] block without a terminator (raised eagerly by
+      [Ssa.Builder]; a well-typed [func] cannot represent it)
+    - [P-SSA-006] definition does not dominate a use (phi operands are
+      checked against the end of their incoming predecessor)
+    - [P-SSA-007] phi ill-formed: after a non-phi, empty, duplicate or
+      non-predecessor incoming labels, missing predecessor coverage
+    - [P-SSA-008] type error (unknown types — [Load], [Call] results —
+      are never reported; only definite conflicts are) *)
+
+val validate : Promise_ir.Ssa.func -> Promise_core.Diag.t list
+(** All diagnostics, in {!Promise_core.Diag.sort} order; [[]] means
+    the function is well-formed. *)

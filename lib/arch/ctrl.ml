@@ -89,7 +89,8 @@ let steps (task : Task.t) =
 let iteration_schedule task =
   match Task.validate task with
   | Ok task -> steps task
-  | Error msg -> invalid_arg ("Ctrl.iteration_schedule: " ^ msg)
+  | Error d ->
+      invalid_arg ("Ctrl.iteration_schedule: " ^ Promise_core.Diag.render d)
 
 let last_cycle steps =
   List.fold_left (fun acc s -> max acc (s.cycle + s.duration)) 0 steps

@@ -193,7 +193,7 @@ let execute ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t launch =
   let* () =
     match Task.validate task with
     | Ok _ -> Ok ()
-    | Error msg -> E.fail ~layer:"machine" ~code:E.Invalid_operand msg
+    | Error d -> Error (Promise_core.Diag.to_error ~layer:"machine" d)
   in
   let* banks = group_banks t launch in
   let* avail_adc =

@@ -23,6 +23,14 @@ let non_negative_float ~what s =
       fail ~what ~ctx:[ ("value", s) ] "must be a finite number >= 0"
   | Some v -> Ok v
 
+let enum ~what ~values s =
+  let v = String.lowercase_ascii (String.trim s) in
+  if List.mem v values then Ok v
+  else
+    fail ~what
+      ~ctx:[ ("value", s) ]
+      ("expected one of: " ^ String.concat ", " values)
+
 let env_value name =
   match Sys.getenv_opt name with
   | None -> None

@@ -19,6 +19,11 @@ val positive_int : what:string -> string -> (int, Error.t) result
 val non_negative_float : what:string -> string -> (float, Error.t) result
 (** Parse a finite float [>= 0] (deadlines in milliseconds). *)
 
+val enum :
+  what:string -> values:string list -> string -> (string, Error.t) result
+(** [enum ~what ~values s] — [s] (trimmed, lowercased) must be one of
+    [values]. Used by the [--lint-format] CLI flags. *)
+
 val env_int :
   name:string -> min:int -> max:int -> (int option, Error.t) result
 (** [env_int ~name ~min ~max] — [Ok None] when the variable is unset

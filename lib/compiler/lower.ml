@@ -119,4 +119,12 @@ let program_of_graph g =
     | (_, t) :: _ -> t.At.name
     | [] -> "empty"
   in
-  Ok (Program.make ~name tasks)
+  (* Fail closed: the emitted Task stream must pass the whole-program
+     ISA verifier — a codegen bug becomes a typed error here instead
+     of silent garbage in the simulator. *)
+  match
+    Promise_core.Diag.first_error
+      (Promise_analysis.Isa_check.check_program tasks)
+  with
+  | Some d -> Error (Promise_core.Diag.to_error ~layer:"compiler" d)
+  | None -> Ok (Program.make ~name tasks)

@@ -88,6 +88,17 @@ end
 
 let compile_uncached kernel =
   let ssa = Promise_ir.Dsl.lower kernel in
+  (* Fail closed: every frontend output goes through the SSA validator
+     so a pattern-matcher bug surfaces as a diagnostic, not a
+     miscompile. *)
+  let* () =
+    match
+      Promise_core.Diag.first_error
+        (Promise_analysis.Ssa_check.validate ssa)
+    with
+    | Some d -> Error (Promise_core.Diag.to_error ~layer:"frontend" d)
+    | None -> Ok ()
+  in
   Result.map_error
     (E.of_string ~layer:"frontend")
     (Promise_ir.Pattern.match_function ssa)

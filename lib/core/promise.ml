@@ -11,6 +11,8 @@
     - {!Arch} — the bank/machine functional + cycle simulator.
     - {!Energy} — Table-3 energy model and the CONV/CM/SoA baselines.
     - {!Ir} — SSA, the tensor DSL, AbstractTasks and the PROMISE pass.
+    - {!Analysis} — the lint stack: whole-program ISA verification,
+      SSA validation, interval overflow analysis (promise-lint).
     - {!Compiler} — backend, precision analysis, swing optimization,
       host runtime.
     - {!Ml} — reference ML algorithms, training, synthetic datasets.
@@ -73,6 +75,13 @@ module Ir = struct
   module Sexp_frontend = Promise_ir.Sexp_frontend
 end
 
+module Analysis = struct
+  module Ssa_check = Promise_analysis.Ssa_check
+  module Isa_check = Promise_analysis.Isa_check
+  module Interval = Promise_analysis.Interval
+  module Lint = Promise_analysis.Driver
+end
+
 module Compiler = struct
   module Lower = Promise_compiler.Lower
   module Precision = Promise_compiler.Precision
@@ -99,6 +108,7 @@ module Ml = struct
 end
 
 module Error = Promise_core.Error
+module Diag = Promise_core.Diag
 module Pool = Promise_core.Pool
 module Quant = Promise_core.Quant
 module Clock = Promise_core.Clock

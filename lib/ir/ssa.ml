@@ -196,8 +196,12 @@ module Builder = struct
     | None -> ()
     | Some p ->
         if p.terminator = None then
+          (* Same diagnostic code as Promise_analysis.Ssa_check so the
+             eager builder rejection and the whole-function validator
+             speak one vocabulary. *)
           invalid_arg
-            (Printf.sprintf "Ssa.Builder: block %S has no terminator" p.label);
+            (Printf.sprintf "Ssa.Builder: [P-SSA-005] block %S has no terminator"
+               p.label);
         t.rev_blocks <- p :: t.rev_blocks;
         t.current <- None
 

@@ -106,9 +106,14 @@ val find_block : func -> label -> block option
     instruction. *)
 val def_of : func -> int -> (block * instr) option
 
+(** [instr_operands i] — the values an instruction reads (phi incoming
+    values included, labels excluded). *)
+val instr_operands : instr -> value list
+
 (** [verify f] — structural checks: unique labels, every used Vreg is
     defined, branch targets exist, phi predecessors exist, registers
-    defined once. *)
+    defined once. The deeper dominance/phi/type validation lives in
+    [Promise_analysis.Ssa_check]. *)
 val verify : func -> (unit, string) result
 
 (** {2 Builder} *)
@@ -118,7 +123,10 @@ module Builder : sig
 
   val create : name:string -> params:(string * ty) list -> t
 
-  (** [block b label] — start (or switch back to) a block. *)
+  (** [block b label] — start (or switch back to) a block. Finishing
+      the previous block without a terminator raises
+      [Invalid_argument] tagged with diagnostic code [P-SSA-005] (the
+      same code {!Promise_analysis.Ssa_check} reports). *)
   val block : t -> label -> unit
 
   (** [instr b i] — append; returns the new register as a value. *)

@@ -46,7 +46,11 @@ let split_fields line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> not (String.equal s ""))
 
-let parse_task line =
+module Diag = Promise_core.Diag
+
+(* Syntax-only parse: field splitting, mnemonic lookup, integers. Task
+   legality (ranges, class composition) is Task.validate's job. *)
+let parse_fields line =
   match split_fields line with
   | [] -> Error "empty task line"
   | keyword :: fields when String.equal keyword "task" ->
@@ -118,9 +122,13 @@ let parse_task line =
                Ok { p with Op_param.thres_val = n })
         | _ -> Error (Printf.sprintf "unknown field %S" key)
       in
-      let* t = List.fold_left parse_field (Ok Task.nop) fields in
-      Task.validate t
+      List.fold_left parse_field (Ok Task.nop) fields
   | keyword :: _ -> Error (Printf.sprintf "expected 'task', got %S" keyword)
+
+let parse_task line =
+  match parse_fields line with
+  | Error msg -> Error (Diag.make ~code:"P-ASM-001" msg)
+  | Ok t -> Task.validate t
 
 let strip_comment line =
   let cut i = String.sub line 0 i in
@@ -158,15 +166,22 @@ let logical_lines src =
   in
   join 1 [] None physical
 
-let parse_program src =
+let parse_program_located src =
   let lines = logical_lines src in
   let parse_line acc (lineno, line) =
     let* tasks = acc in
     if String.equal (String.trim line) "" then Ok tasks
     else
       match parse_task line with
-      | Ok t -> Ok (t :: tasks)
-      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok t -> Ok ((lineno, t) :: tasks)
+      | Error d -> Error (Diag.with_span d (Diag.Line lineno))
   in
-  let* tasks = List.fold_left parse_line (Ok []) lines in
-  Ok (List.rev tasks)
+  let* located = List.fold_left parse_line (Ok []) lines in
+  Ok (List.rev located)
+
+let parse_program src =
+  match parse_program_located src with
+  | Ok located -> Ok (List.map snd located)
+  | Error d ->
+      let lineno = match Diag.span d with Diag.Line n -> n | _ -> 0 in
+      Error (Printf.sprintf "line %d: %s" lineno (Diag.render d))

@@ -1,9 +1,11 @@
 let task_bits = 48
 let task_bytes = 6
 
+module Diag = Promise_core.Diag
+
 let to_int (t : Task.t) =
   match Task.validate t with
-  | Error msg -> invalid_arg ("Encode.to_int: " ^ msg)
+  | Error d -> invalid_arg ("Encode.to_int: " ^ Diag.render d)
   | Ok t ->
       (Op_param.to_bits t.op_param lsl 20)
       lor (t.rpt_num lsl 13)
@@ -37,7 +39,7 @@ let of_int bits =
       class4;
     }
   in
-  Task.validate t
+  Result.map_error Diag.render (Task.validate t)
 
 let to_bytes t =
   let bits = to_int t in

@@ -27,9 +27,13 @@ let default =
 
 let bit_width = 28
 
+module Diag = Promise_core.Diag
+
 let check name v lo hi =
   if v < lo || v > hi then
-    Error (Printf.sprintf "%s = %d out of range [%d, %d]" name v lo hi)
+    Error
+      (Diag.errorf ~code:"P-TSK-001" "%s = %d out of range [%d, %d]" name v lo
+         hi)
   else Ok ()
 
 let ( let* ) = Result.bind
@@ -46,7 +50,7 @@ let validate t =
 
 let to_bits t =
   match validate t with
-  | Error msg -> invalid_arg ("Op_param.to_bits: " ^ msg)
+  | Error d -> invalid_arg ("Op_param.to_bits: " ^ Diag.render d)
   | Ok t ->
       (t.swing lsl 25) lor (t.acc_num lsl 23) lor (t.w_addr lsl 14)
       lor (t.x_addr1 lsl 11) lor (t.x_addr2 lsl 8) lor (t.x_prd lsl 6)

@@ -34,8 +34,8 @@ val swing_min : int
 val swing_max : int
 
 (** [validate t] is [Ok t] when every field is within its bit-field range,
-    and [Error msg] otherwise. *)
-val validate : t -> (t, string) result
+    and [Error d] (diagnostic code [P-TSK-001]) otherwise. *)
+val validate : t -> (t, Promise_core.Diag.t) result
 
 (** [to_bits t] packs [t] into the low 28 bits of an int.
     Raises [Invalid_argument] if [validate] fails. *)

@@ -6,8 +6,10 @@ let make ~name tasks =
     (fun i task ->
       match Task.validate task with
       | Ok _ -> ()
-      | Error msg ->
-          invalid_arg (Printf.sprintf "Program.make: task %d: %s" i msg))
+      | Error d ->
+          invalid_arg
+            (Printf.sprintf "Program.make: task %d: %s" i
+               (Promise_core.Diag.render d)))
     tasks;
   { name; tasks }
 

@@ -25,10 +25,16 @@ let nop =
 
 let ( let* ) = Result.bind
 
+module Diag = Promise_core.Diag
+
 let check name v lo hi =
   if v < lo || v > hi then
-    Error (Printf.sprintf "%s = %d out of range [%d, %d]" name v lo hi)
+    Error
+      (Diag.errorf ~code:"P-TSK-002" "%s = %d out of range [%d, %d]" name v lo
+         hi)
   else Ok ()
+
+let composition_error msg = Error (Diag.make ~code:"P-TSK-003" msg)
 
 let composition_ok class1 class2 class3 class4 =
   let open Opcode in
@@ -36,26 +42,27 @@ let composition_ok class1 class2 class3 class4 =
   let asd_active = not (equal_asd class2.asd Asd_none) in
   let digitizes = equal_class3 class3 C3_adc in
   if asd_active && not analog1 then
-    Error "Class-2 aSD operation requires an analog Class-1 producer"
+    composition_error "Class-2 aSD operation requires an analog Class-1 producer"
   else if class2.avd && not analog1 then
-    Error "aVD aggregation requires an analog Class-1 producer"
+    composition_error "aVD aggregation requires an analog Class-1 producer"
   else if asd_reads_x class2.asd && class1_reads_x class1 then
-    Error "Class-2 multiply cannot follow a fused Class-1 add/subtract"
+    composition_error "Class-2 multiply cannot follow a fused Class-1 add/subtract"
   else if class2.avd && not digitizes then
-    Error "aVD aggregation requires Class-3 ADC (noise must not accumulate)"
+    composition_error
+      "aVD aggregation requires Class-3 ADC (noise must not accumulate)"
   else if digitizes && not analog1 then
-    Error "Class-3 ADC requires an analog Class-1 producer"
+    composition_error "Class-3 ADC requires an analog Class-1 producer"
   else if
     (equal_class1 class1 C1_read || equal_class1 class1 C1_write)
     && (asd_active || class2.avd || digitizes)
-  then Error "digital read/write admits no analog Class-2/3 stage"
+  then composition_error "digital read/write admits no analog Class-2/3 stage"
   else if
     (not digitizes)
     && not (equal_class4 class4 C4_accumulate)
   then
     (* Without a fresh ADC sample the TH stage has no new operand; only the
        pass-through accumulate (idle) composition is meaningful. *)
-    Error "a non-trivial Class-4 operation requires Class-3 ADC"
+    composition_error "a non-trivial Class-4 operation requires Class-3 ADC"
   else Ok ()
 
 let validate t =
@@ -70,7 +77,7 @@ let make ?(op_param = Op_param.default) ?(rpt_num = 0) ?(multi_bank = 0)
   let t = { op_param; rpt_num; multi_bank; class1; class2; class3; class4 } in
   match validate t with
   | Ok t -> t
-  | Error msg -> invalid_arg ("Task.make: " ^ msg)
+  | Error d -> invalid_arg ("Task.make: " ^ Diag.render d)
 
 let uses_adc t = Opcode.equal_class3 t.class3 Opcode.C3_adc
 

@@ -53,8 +53,12 @@ val make :
       result can leave the analog domain (noise must not accumulate,
       §3.1);
     - Class-4 [threshold] uses [THRES_VAL]; [accumulate] uses [ACC_NUM];
-    - digital [read]/[write] Class-1 ops admit no analog Class-2/3 stage. *)
-val validate : t -> (t, string) result
+    - digital [read]/[write] Class-1 ops admit no analog Class-2/3 stage.
+
+    Errors carry stable diagnostic codes: [P-TSK-001] for OP_PARAM
+    field ranges, [P-TSK-002] for [RPT_NUM]/[MULTI_BANK] ranges, and
+    [P-TSK-003] for illegal class compositions. *)
+val validate : t -> (t, Promise_core.Diag.t) result
 
 (** [uses_adc t] — the Task digitizes its aggregate each iteration. *)
 val uses_adc : t -> bool

@@ -17,5 +17,5 @@ Illegal compositions are rejected with the offending line.
   > task c1=read c2=square c3=ADC c4=min
   > PASM
   $ promise_asm validate bad.pasm
-  promise-asm: line 1: Class-2 aSD operation requires an analog Class-1 producer
+  promise-asm: line 1: [P-TSK-003] Class-2 aSD operation requires an analog Class-1 producer
   [1]

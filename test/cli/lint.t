@@ -1,0 +1,68 @@
+promise-lint on a clean assembly program: exit 0, no diagnostics.
+
+  $ cat > clean.pasm <<'PASM'
+  > ; one well-formed Task
+  > task c1=aREAD c2=square.avd c3=ADC c4=accumulate
+  > PASM
+  $ promise_lint clean.pasm
+  clean.pasm: clean
+  0 error(s), 0 warning(s) in 1 target(s)
+
+Seeded ISA violations are caught with their documented codes and the
+source line, and the exit code is 1.
+
+  $ cat > bad.pasm <<'PASM'
+  > task c1=aREAD c2=square c4=accumulate
+  > task c1=aREAD c2=square.avd c3=ADC c4=accumulate w=100 rpt=59
+  > task c1=aREAD c2=square.avd c3=ADC c4=accumulate des=acc
+  > PASM
+  $ promise_lint bad.pasm
+  bad.pasm: error[P-ISA-003] line 1: analog value crosses the Task boundary without a Class-3 ADC and is dropped
+  bad.pasm: error[P-ISA-002] line 2: W window [100, 159] exceeds the 128 word rows of a bank (addresses wrap and alias)
+  bad.pasm: error[P-ISA-006] line 3: accumulator chain never drains: the program ends with DES = acc
+  3 error(s), 0 warning(s) in 1 target(s)
+  [1]
+
+A syntax error is a single located P-ASM-001.
+
+  $ cat > syntax.pasm <<'PASM'
+  > task c1=aREAD avd
+  > PASM
+  $ promise_lint syntax.pasm
+  syntax.pasm: error[P-ASM-001] line 1: malformed field "avd"
+  1 error(s), 0 warning(s) in 1 target(s)
+  [1]
+
+DSL kernels run the whole pipeline under the linter.
+
+  $ promise_lint kernels/svm.sexp kernels/mlp.sexp
+  kernels/svm.sexp: clean
+  kernels/mlp.sexp: clean
+  0 error(s), 0 warning(s) in 2 target(s)
+
+JSON output (the CI artifact) carries codes, spans and severities.
+
+  $ promise_lint bad.pasm --format json
+  {"summary":{"errors":3,"warnings":0},"targets":[{"target":"bad.pasm","errors":3,"warnings":0,"diagnostics":[{"code":"P-ISA-003","severity":"error","span":{"kind":"line","line":1},"message":"analog value crosses the Task boundary without a Class-3 ADC and is dropped"},{"code":"P-ISA-002","severity":"error","span":{"kind":"line","line":2},"message":"W window [100, 159] exceeds the 128 word rows of a bank (addresses wrap and alias)"},{"code":"P-ISA-006","severity":"error","span":{"kind":"line","line":3},"message":"accumulator chain never drains: the program ends with DES = acc"}]}]}
+  [1]
+
+Nothing to lint is a usage error (exit 2).
+
+  $ promise_lint
+  promise-lint: nothing to lint (give FILES or --benchmarks)
+  [2]
+
+The compile and assemble drivers expose the same passes behind
+--lint; the report goes to stderr so stdout stays the program.
+
+  $ promise_compile kernels/svm.sexp --lint 2>lint.err >/dev/null && cat lint.err
+  kernels/svm.sexp: clean
+  0 error(s), 0 warning(s) in 1 target(s)
+
+  $ promise_asm validate bad.pasm --lint 2>&1 >/dev/null | head -1
+  bad.pasm: error[P-ISA-003] line 1: analog value crosses the Task boundary without a Class-3 ADC and is dropped
+
+--no-lint overrides --lint.
+
+  $ promise_asm validate bad.pasm --lint --no-lint
+  3 task(s) valid; program uses up to 1 bank(s)

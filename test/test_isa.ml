@@ -221,7 +221,9 @@ let test_composition_count () =
       let t = { Task.nop with Task.class1; class2; class3; class4 } in
       match Task.validate t with
       | Ok _ -> ()
-      | Error msg -> fail ("enumerated composition rejected: " ^ msg))
+      | Error d ->
+          fail
+            ("enumerated composition rejected: " ^ Promise_core.Diag.render d))
     comps
 
 (* ------------------------------------------------------------------ *)
@@ -350,14 +352,14 @@ let test_asm_roundtrip () =
   in
   match Asm.parse_task (Asm.print_task t) with
   | Ok t' -> check bool "asm roundtrip" true (Task.equal t t')
-  | Error msg -> fail msg
+  | Error d -> fail (Promise_core.Diag.to_string d)
 
 let test_asm_defaults () =
   match Asm.parse_task "task c1=aREAD c2=sign_mult.avd c3=ADC c4=accumulate" with
   | Ok t ->
       check int "default rpt" 0 t.Task.rpt_num;
       check int "default swing" 7 t.Task.op_param.Op_param.swing
-  | Error msg -> fail msg
+  | Error d -> fail (Promise_core.Diag.to_string d)
 
 let test_asm_comments_and_continuation () =
   let src =
@@ -397,7 +399,7 @@ let test_program_roundtrip () =
 let test_asm_duplicate_field_last_wins () =
   match Asm.parse_task "task c1=aREAD c2=sign_mult.avd c3=ADC c4=accumulate rpt=3 rpt=9" with
   | Ok t -> check int "last rpt wins" 9 t.Task.rpt_num
-  | Error msg -> fail msg
+  | Error d -> fail (Promise_core.Diag.to_string d)
 
 let test_with_swings_mismatch () =
   let p = Program.make ~name:"p" [ dot_task () ] in

@@ -1,0 +1,477 @@
+(* Lint tests: the Diag core, the three analysis passes (Task-ISA
+   verifier, SSA validator, interval overflow analysis), the report
+   driver, and the clean-lint property over random DSL kernels.
+
+   Mutation style: each seeded defect must be caught with its exact
+   documented diagnostic code (ARCHITECTURE §10). *)
+
+open Promise.Ir
+open Promise.Isa
+module P = Promise
+module Diag = P.Diag
+module Ssa_check = P.Analysis.Ssa_check
+module Isa_check = P.Analysis.Isa_check
+module Interval = P.Analysis.Interval
+module Lint = P.Analysis.Lint
+module B = P.Benchmarks
+module Precision = P.Compiler.Precision
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let bool = Alcotest.bool
+let int = Alcotest.int
+let str = Alcotest.string
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let codes ds = List.map Diag.code ds
+
+let has_code c ds =
+  if not (List.mem c (codes ds)) then
+    fail
+      (Printf.sprintf "expected %s, got [%s]" c
+         (String.concat "; " (List.map Diag.to_string ds)))
+
+let only_code c ds =
+  has_code c ds;
+  check int (c ^ " is the only diagnostic") 1 (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Diag core                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_diag_render () =
+  let d = Diag.errorf ~code:"P-ISA-003" ~span:(Diag.Task 2) "dropped" in
+  check str "render" "[P-ISA-003] dropped" (Diag.render d);
+  check str "to_string" "error[P-ISA-003] task 2: dropped" (Diag.to_string d);
+  check bool "is_error" true (Diag.is_error d);
+  let w = Diag.warningf ~code:"P-OVF-002" "w" in
+  check int "count_errors" 1 (Diag.count_errors [ w; d ]);
+  check int "count_warnings" 1 (Diag.count_warnings [ w; d ])
+
+let test_diag_sort () =
+  let at span code = Diag.errorf ~code ~span "x" in
+  let sorted =
+    Diag.sort
+      [ at (Diag.Task 3) "P-ISA-001"; at (Diag.Task 1) "P-ISA-006";
+        at (Diag.Task 1) "P-ISA-002" ]
+  in
+  check bool "span order, then code" true
+    (codes sorted = [ "P-ISA-002"; "P-ISA-006"; "P-ISA-001" ])
+
+let test_diag_to_error () =
+  let d = Diag.errorf ~code:"P-TSK-001" "swing out of range" in
+  let e = Diag.to_error ~layer:"isa" d in
+  let s = P.Error.to_string e in
+  check bool "code survives in the typed error" true
+    (contains ~sub:"P-TSK-001" s)
+
+let test_diag_json () =
+  let d = Diag.errorf ~code:"P-SSA-006" ~span:(Diag.Instr { block = "b"; vreg = 3 }) {|say "hi"|} in
+  let j = Diag.to_json d in
+  check bool "code in json" true (contains ~sub:{|"code":"P-SSA-006"|} j);
+  check bool "message escaped" true (contains ~sub:{|say \"hi\"|} j)
+
+(* ------------------------------------------------------------------ *)
+(* Task-level mutations: assembler + per-Task validation codes         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_task_code line =
+  match Asm.parse_task line with
+  | Ok _ -> fail ("expected a diagnostic for: " ^ line)
+  | Error d -> Diag.code d
+
+let test_task_mutations () =
+  List.iter
+    (fun (line, code) -> check str line code (parse_task_code line))
+    [
+      ("task c1=bogus", "P-ASM-001");
+      ("task c1=aREAD c2=square.avd avd c3=ADC", "P-ASM-001");
+      ("task c1=aREAD c2=square.avd c3=ADC c4=accumulate swing=9", "P-TSK-001");
+      ("task c1=aREAD c2=square.avd c3=ADC c4=accumulate w=600", "P-TSK-001");
+      ("task c1=read rpt=200", "P-TSK-002");
+      ("task c1=read mb=5", "P-TSK-002");
+      ("task c1=read c2=square c3=ADC c4=min", "P-TSK-003");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program ISA mutations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let program_of_lines lines =
+  match Asm.parse_program (String.concat "\n" lines) with
+  | Ok tasks -> tasks
+  | Error msg -> fail msg
+
+let isa_diags lines = Isa_check.check_program (program_of_lines lines)
+
+let test_isa_clean () =
+  check int "well-formed single task is clean" 0
+    (List.length
+       (isa_diags [ "task c1=aREAD c2=square.avd c3=ADC c4=accumulate" ]))
+
+let test_isa_mutations () =
+  List.iter
+    (fun (lines, code) -> only_code code (isa_diags lines))
+    [
+      (* dead X-REG store: nothing after the write reads X *)
+      ( [ "task c1=aREAD c2=square.avd c3=ADC c4=sigmoid des=xreg" ],
+        "P-ISA-001" );
+      (* W window walks off the 128 word rows of a bank *)
+      ( [ "task c1=aREAD c2=square.avd c3=ADC c4=accumulate w=100 rpt=59" ],
+        "P-ISA-002" );
+      (* analog aggregate dropped at the Task boundary (no ADC) *)
+      ([ "task c1=aREAD c2=square c4=accumulate" ], "P-ISA-003");
+      (* 3 iterations do not divide into ACC_NUM+1 = 2 groups *)
+      ( [ "task c1=aREAD c2=square.avd c3=ADC c4=accumulate acc=1 rpt=2" ],
+        "P-ISA-004" );
+      (* X circulates out of phase with the accumulation group *)
+      ( [ "task c1=aADD c2=none.avd c3=ADC c4=accumulate acc=1 rpt=3 xprd=0" ],
+        "P-ISA-005" );
+      (* accumulator chain never drains *)
+      ( [ "task c1=aREAD c2=square.avd c3=ADC c4=accumulate des=acc" ],
+        "P-ISA-006" );
+      (* chain members disagree on SWING *)
+      ( [
+          "task c1=aREAD c2=square.avd c3=ADC c4=accumulate des=acc swing=7";
+          "task c1=aREAD c2=square.avd c3=ADC c4=accumulate des=acc swing=3";
+          "task c1=aREAD c2=square.avd c3=ADC c4=accumulate des=out";
+        ],
+        "P-ISA-006" );
+    ]
+
+let test_isa_xreg_consumed_is_clean () =
+  (* the same X-REG store is fine when a later Task reads X *)
+  check int "consumed store is clean" 0
+    (List.length
+       (isa_diags
+          [
+            "task c1=aREAD c2=square.avd c3=ADC c4=sigmoid des=xreg";
+            "task c1=aADD c2=none.avd c3=ADC c4=accumulate acc=0 xprd=0";
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* SSA validator mutations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let blk ~label ~first instrs terminator =
+  { Ssa.label; first_index = first; instrs = Array.of_list instrs; terminator }
+
+let func ?(params = [ ("x", Ssa.Vector 4) ]) blocks =
+  { Ssa.name = "t"; params; blocks }
+
+let test_ssa_mutations () =
+  let cases =
+    [
+      ( "duplicate label",
+        func
+          [
+            blk ~label:"entry" ~first:0 [] (Ssa.Br "entry");
+            blk ~label:"entry" ~first:0 [] (Ssa.Ret None);
+          ],
+        "P-SSA-001" );
+      ( "undefined vreg",
+        func
+          [ blk ~label:"entry" ~first:0
+              [ Ssa.Load { ptr = Ssa.Vreg 99 } ]
+              (Ssa.Ret None) ],
+        "P-SSA-002" );
+      ( "unknown argument",
+        func
+          [ blk ~label:"entry" ~first:0
+              [ Ssa.Reduce { op = Ssa.Rsum; operand = Ssa.Arg "nope" } ]
+              (Ssa.Ret None) ],
+        "P-SSA-003" );
+      ( "branch to unknown label",
+        func [ blk ~label:"entry" ~first:0 [] (Ssa.Br "nowhere") ],
+        "P-SSA-004" );
+      ( "def does not dominate use",
+        func
+          [
+            blk ~label:"entry" ~first:0 []
+              (Ssa.Cond_br
+                 { cond = Ssa.Const_int 1; if_true = "a"; if_false = "b" });
+            blk ~label:"a" ~first:0
+              [ Ssa.Reduce { op = Ssa.Rsum; operand = Ssa.Arg "x" } ]
+              (Ssa.Br "b");
+            blk ~label:"b" ~first:1
+              [ Ssa.Scalar_unop { op = Ssa.Uneg; operand = Ssa.Vreg 0 } ]
+              (Ssa.Ret None);
+          ],
+        "P-SSA-006" );
+      ( "phi with a non-predecessor incoming label",
+        func
+          [
+            blk ~label:"entry" ~first:0 [] (Ssa.Br "l");
+            blk ~label:"l" ~first:0
+              [ Ssa.Phi { incoming = [ ("nowhere", Ssa.Const_int 0) ] } ]
+              (Ssa.Ret None);
+          ],
+        "P-SSA-007" );
+      ( "vector length mismatch",
+        func
+          ~params:[ ("W", Ssa.Matrix (2, 8)); ("V", Ssa.Matrix (2, 4)) ]
+          [
+            blk ~label:"entry" ~first:0
+              [
+                Ssa.Getindex { matrix = Ssa.Arg "W"; index = Ssa.Const_int 0 };
+                Ssa.Getindex { matrix = Ssa.Arg "V"; index = Ssa.Const_int 0 };
+                Ssa.Vec_binop { op = Ssa.Vadd; lhs = Ssa.Vreg 0; rhs = Ssa.Vreg 1 };
+              ]
+              (Ssa.Ret None);
+          ],
+        "P-SSA-008" );
+    ]
+  in
+  List.iter
+    (fun (what, f, code) ->
+      let ds = Ssa_check.validate f in
+      if not (List.mem code (codes ds)) then
+        fail
+          (Printf.sprintf "%s: expected %s, got [%s]" what code
+             (String.concat "; " (List.map Diag.to_string ds))))
+    cases
+
+let test_ssa_builder_missing_terminator () =
+  (* satellite (f): the Builder rejects an unterminated block eagerly,
+     tagged with the validator's code *)
+  let b = Ssa.Builder.create ~name:"g" ~params:[] in
+  Ssa.Builder.block b "entry";
+  match Ssa.Builder.finish b with
+  | exception Invalid_argument msg ->
+      check bool "message carries P-SSA-005" true
+        (contains ~sub:"P-SSA-005" msg)
+  | _ -> fail "expected Invalid_argument"
+
+let test_ssa_frontend_output_validates () =
+  let k =
+    Dsl.kernel ~name:"clean"
+      ~decls:
+        [ Dsl.matrix "W" ~rows:4 ~cols:16; Dsl.vector "x" ~len:16;
+          Dsl.out_vector "out" ~len:4 ]
+      [ Dsl.for_store ~iterations:4 ~out:"out" (Dsl.dot "W" "x") ]
+  in
+  check int "Dsl.lower output is SSA-clean" 0
+    (List.length (Ssa_check.validate (Dsl.lower k)))
+
+(* ------------------------------------------------------------------ *)
+(* Interval overflow analysis                                          *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of_tasks tasks =
+  match Graph.of_tasks tasks with Ok g -> g | Error msg -> fail msg
+
+let test_interval_saturation () =
+  (* 2048-element rows need 2 segments on 8 banks, so the TH stage
+     accumulates two ±1 samples: the non-terminal ReLU routes [0, 2]
+     into an 8-bit X-REG and saturates; its consumer inherits the
+     clamped value (warning). *)
+  let layer1 =
+    Abstract_task.make ~name:"layer1" ~w:"W1" ~x:"x" ~output:"h"
+      ~vec_op:Abstract_task.Vo_mul_signed ~red_op:Abstract_task.Ro_sum
+      ~digital_op:Abstract_task.Do_relu ~vector_len:2048 ~loop_iterations:4 ()
+  in
+  let layer2 =
+    Abstract_task.make ~name:"layer2" ~w:"W2" ~x:"h" ~output:"y"
+      ~vec_op:Abstract_task.Vo_mul_signed ~red_op:Abstract_task.Ro_sum
+      ~digital_op:Abstract_task.Do_sigmoid ~vector_len:4 ~loop_iterations:2 ()
+  in
+  let reports, ds = Interval.analyze (graph_of_tasks [ layer1; layer2 ]) in
+  has_code "P-OVF-001" ds;
+  has_code "P-OVF-002" ds;
+  check int "one error, one warning" 1 (Diag.count_errors ds);
+  check int "one warning" 1 (Diag.count_warnings ds);
+  let r1 = List.find (fun r -> r.Interval.name = "layer1") reports in
+  check bool "layer1 saturates" true r1.Interval.saturates;
+  check bool "layer1 interval clamped for consumers" true
+    (r1.Interval.emitted.Interval.hi <= 1.0)
+
+let test_interval_terminal_is_clean () =
+  (* same geometry, but the ReLU is terminal (output buffer, not an
+     8-bit register) — nothing to saturate *)
+  let t =
+    Abstract_task.make ~name:"only" ~w:"W" ~x:"x" ~output:"y"
+      ~vec_op:Abstract_task.Vo_mul_signed ~red_op:Abstract_task.Ro_sum
+      ~digital_op:Abstract_task.Do_relu ~vector_len:2048 ~loop_iterations:4 ()
+  in
+  let _, ds = Interval.analyze (graph_of_tasks [ t ]) in
+  check int "terminal relu is clean" 0 (List.length ds)
+
+let test_interval_check_stats () =
+  only_code "P-OVF-003"
+    (Interval.check_stats ~ea:1e9 ~ew:1e9 ~pm:1e-6);
+  check int "feasible stats are clean" 0
+    (List.length (Interval.check_stats ~ea:0.5 ~ew:0.5 ~pm:0.1))
+
+let test_min_bits_matches_precision () =
+  (* the analysis reimplements the compiler's Sakr solve (the
+     dependency points compiler -> analysis); the two must agree *)
+  List.iter
+    (fun ea ->
+      List.iter
+        (fun ew ->
+          List.iter
+            (fun pm ->
+              let ours = Interval.min_bits ~ea ~ew ~pm in
+              let theirs =
+                Precision.min_activation_bits { Precision.ea; ew } ~pm
+                  ~bw:Interval.weight_bits
+              in
+              match (ours, theirs) with
+              | Ok a, Ok b ->
+                  check int
+                    (Printf.sprintf "ba at ea=%g ew=%g pm=%g" ea ew pm)
+                    b a
+              | Error _, Error _ -> ()
+              | _ ->
+                  fail
+                    (Printf.sprintf "feasibility disagrees at ea=%g ew=%g pm=%g"
+                       ea ew pm))
+            [ 0.5; 0.01; 1e-4; 1e-8 ])
+        [ 0.3; 2.0; 150.0 ])
+    [ 0.3; 2.0; 150.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Report driver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_pasm_report () =
+  let bad = "task c1=aREAD c2=square c4=accumulate\n" in
+  let r = Lint.lint_pasm ~target:"bad.pasm" bad in
+  check int "one error" 1 (Lint.errors r);
+  check int "exit code 1" 1 (Lint.exit_code [ r ]);
+  check bool "text names the target and line" true
+    (contains ~sub:"bad.pasm: error[P-ISA-003] line 1" (Lint.render_text r));
+  let j = Lint.render_json [ r ] in
+  check bool "json carries the code" true (contains ~sub:"P-ISA-003" j)
+
+let test_driver_clean_report () =
+  let r = Lint.lint_pasm ~target:"ok.pasm" "task c1=read\n" in
+  check int "clean" 0 (Lint.errors r + Lint.warnings r);
+  check int "exit code 0" 0 (Lint.exit_code [ r ]);
+  check str "summary" "0 error(s), 0 warning(s) in 1 target(s)"
+    (Lint.summary [ r ])
+
+(* ------------------------------------------------------------------ *)
+(* Clean-lint property and acceptance sweeps                           *)
+(* ------------------------------------------------------------------ *)
+
+(* mirror of promise-lint's kernel path, returning the diagnostics *)
+let lint_kernel_diags k =
+  let ssa = Dsl.lower k in
+  let ssa_d = Ssa_check.validate ssa in
+  match Pattern.match_function ssa with
+  | Error msg -> [ Diag.errorf ~code:"P-OVF-004" "no match: %s" msg ]
+  | Ok graph -> (
+      let _, ovf = Interval.analyze graph in
+      match P.Compiler.Lower.program_of_graph graph with
+      | Error e ->
+          [ Diag.errorf ~code:"P-OVF-004" "%s" (P.Error.to_string e) ]
+      | Ok prog -> ssa_d @ ovf @ Isa_check.check_program prog.Program.tasks)
+
+let qcheck_random_kernels_lint_clean =
+  (* the compiler must never emit a program its own linter rejects:
+     random geometry and distance metric, every pass, zero errors *)
+  let gen =
+    QCheck.Gen.(triple (int_range 1 16) (int_range 2 300) (int_range 0 2))
+  in
+  QCheck.Test.make ~name:"random DSL kernels lint clean" ~count:50
+    (QCheck.make gen)
+    (fun (rows, cols, op) ->
+      let body =
+        match op with
+        | 0 -> Dsl.dot "W" "x"
+        | 1 -> Dsl.l1_distance "W" "x"
+        | _ -> Dsl.l2_distance "W" "x"
+      in
+      let k =
+        Dsl.kernel ~name:"prop"
+          ~decls:
+            [ Dsl.matrix "W" ~rows ~cols; Dsl.vector "x" ~len:cols;
+              Dsl.out_vector "out" ~len:rows ]
+          [ Dsl.for_store ~iterations:rows ~out:"out" body ]
+      in
+      Diag.count_errors (lint_kernel_diags k) = 0)
+
+let test_example_kernels_lint_clean () =
+  List.iter
+    (fun path ->
+      match Sexp_frontend.parse_file path with
+      | Error msg -> fail (path ^ ": " ^ msg)
+      | Ok k ->
+          let ds = lint_kernel_diags k in
+          check int (path ^ " has no diagnostics") 0 (List.length ds))
+    [
+      "../examples/kernels/template_matching.sexp";
+      "../examples/kernels/svm.sexp";
+      "../examples/kernels/mlp.sexp";
+      "../examples/kernels/linreg.sexp";
+    ]
+
+let test_benchmarks_lint_clean () =
+  List.iter
+    (fun (b : B.t) ->
+      let isa = Isa_check.check_program b.B.per_decision_program.Program.tasks in
+      let _, ovf = Interval.analyze b.B.graph in
+      check int (b.B.name ^ " has no diagnostics") 0
+        (List.length (isa @ ovf)))
+    (B.fig10_suite () @ [ B.dnn B.D1 ])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "diag",
+        [
+          Alcotest.test_case "render" `Quick test_diag_render;
+          Alcotest.test_case "sort" `Quick test_diag_sort;
+          Alcotest.test_case "to_error" `Quick test_diag_to_error;
+          Alcotest.test_case "json" `Quick test_diag_json;
+        ] );
+      ( "task-mutations",
+        [
+          Alcotest.test_case "assembler and per-task codes" `Quick
+            test_task_mutations;
+        ] );
+      ( "isa-verifier",
+        [
+          Alcotest.test_case "clean program" `Quick test_isa_clean;
+          Alcotest.test_case "seeded violations" `Quick test_isa_mutations;
+          Alcotest.test_case "consumed X-REG store" `Quick
+            test_isa_xreg_consumed_is_clean;
+        ] );
+      ( "ssa-validator",
+        [
+          Alcotest.test_case "seeded violations" `Quick test_ssa_mutations;
+          Alcotest.test_case "builder missing terminator" `Quick
+            test_ssa_builder_missing_terminator;
+          Alcotest.test_case "frontend output validates" `Quick
+            test_ssa_frontend_output_validates;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "saturating relu chain" `Quick
+            test_interval_saturation;
+          Alcotest.test_case "terminal relu is clean" `Quick
+            test_interval_terminal_is_clean;
+          Alcotest.test_case "sakr feasibility" `Quick
+            test_interval_check_stats;
+          Alcotest.test_case "min_bits matches Precision" `Quick
+            test_min_bits_matches_precision;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "pasm report" `Quick test_driver_pasm_report;
+          Alcotest.test_case "clean report" `Quick test_driver_clean_report;
+        ] );
+      ( "acceptance",
+        [
+          QCheck_alcotest.to_alcotest qcheck_random_kernels_lint_clean;
+          Alcotest.test_case "example kernels lint clean" `Quick
+            test_example_kernels_lint_clean;
+          Alcotest.test_case "benchmarks lint clean" `Slow
+            test_benchmarks_lint_clean;
+        ] );
+    ]
