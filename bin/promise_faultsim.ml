@@ -20,6 +20,10 @@
                            [--max-retries R] [--seed S] [--max-residual K] *)
 
 module P = Promise
+
+(* exceptions escaping supervised items carry their backtrace into the
+   typed error context; recording must be on for it to be non-empty *)
+let () = Printexc.record_backtrace true
 open Cmdliner
 
 (* A cmdliner conv over the typed validator: junk reports the same

@@ -12,6 +12,10 @@
                          [--max-retries R] [--seed S] [SECTION ...] *)
 
 module P = Promise
+
+(* exceptions escaping supervised items carry their backtrace into the
+   typed error context; recording must be on for it to be non-empty *)
+let () = Printexc.record_backtrace true
 open Cmdliner
 
 let validated_int ~what ~min ~max =

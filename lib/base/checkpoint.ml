@@ -14,6 +14,25 @@ let fail ~code ~path msg =
 
 let tmp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
 
+module For_tests = struct
+  let dir_fsyncs = ref 0
+end
+
+(* The rename makes the checkpoint visible, but only an fsync of the
+   containing directory makes the rename itself durable: a power cut
+   after rename but before the directory entry hits disk can leave the
+   old name (or nothing). Best-effort — some filesystems refuse
+   O_RDONLY fsync on directories, and that must not fail the save. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try
+         Unix.fsync fd;
+         incr For_tests.dir_fsyncs
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let save ~path ~config_digest payload =
   let tmp = tmp_path path in
   try
@@ -32,6 +51,7 @@ let save ~path ~config_digest payload =
        close_out_noerr oc;
        raise e);
     Sys.rename tmp path;
+    fsync_dir path;
     Ok ()
   with
   | Sys_error msg | Unix.Unix_error (_, _, msg) ->

@@ -27,7 +27,10 @@ val digest_of_config : kind:string -> string list -> string
 
 val save :
   path:string -> config_digest:string -> 'a -> (unit, Error.t) result
-(** Atomically persist the payload: write temp, fsync, rename. *)
+(** Atomically persist the payload: write temp, fsync, rename, then
+    fsync the containing directory so the rename itself is durable
+    across a power cut (best-effort: filesystems that refuse directory
+    fsync do not fail the save). *)
 
 val load : path:string -> config_digest:string -> ('a, Error.t) result
 (** Read a checkpoint back. Errors: [Invalid_operand] when the file is
@@ -40,3 +43,10 @@ val remove : string -> unit
 (** Delete a checkpoint (and any leftover temporary); missing files
     are fine. Called after a run completes so a later run does not
     resume finished work. *)
+
+(** Test-only observability. *)
+module For_tests : sig
+  val dir_fsyncs : int ref
+  (** Successful directory fsyncs performed by {!save} in this
+      process. *)
+end

@@ -9,6 +9,10 @@ type kind =
   | Signal
   | Run_start
   | Run_end
+  | Worker_spawn
+  | Worker_death
+  | Shard_done
+  | Chaos
 
 let kind_name = function
   | Timeout -> "timeout"
@@ -21,8 +25,20 @@ let kind_name = function
   | Signal -> "signal"
   | Run_start -> "run-start"
   | Run_end -> "run-end"
+  | Worker_spawn -> "worker-spawn"
+  | Worker_death -> "worker-death"
+  | Shard_done -> "shard-done"
+  | Chaos -> "chaos"
 
-type sink = Null | Channel of out_channel | Buf of Buffer.t
+type sink =
+  | Null
+  | File of {
+      path : string;
+      max_bytes : int;
+      mutable oc : out_channel;
+      mutable size : int;  (** bytes in the live file *)
+    }
+  | Buf of Buffer.t
 
 type t = {
   mutex : Mutex.t;
@@ -37,9 +53,22 @@ let make sink =
 let null = make Null
 let is_null t = t.sink = Null
 
-let to_file path =
-  match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path with
-  | oc -> Ok (make (Channel oc))
+(* A retry storm in a week-long fleet run must not fill the disk: the
+   file sink rotates once it crosses the cap, keeping one [.1] backup
+   (so at most ~2 x max_bytes on disk). 64 MiB of JSONL is far beyond
+   any legitimate supervision trail. *)
+let default_max_bytes = 64 * 1024 * 1024
+
+let open_sink path =
+  open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+
+let to_file ?(max_bytes = default_max_bytes) path =
+  match open_sink path with
+  | oc ->
+      Ok
+        (make
+           (File
+              { path; max_bytes = max max_bytes 1; oc; size = out_channel_length oc }))
   | exception Sys_error msg ->
       Error.fail ~layer:"incident" ~code:Error.Invalid_operand
         ~context:[ ("path", path) ]
@@ -92,10 +121,20 @@ let record t kind fields =
             (match sink with
             | Null -> ()
             | Buf buf -> Buffer.add_string buf line
-            | Channel oc -> (
+            | File f -> (
                 try
-                  output_string oc line;
-                  flush oc
+                  if f.size > 0 && f.size + String.length line > f.max_bytes
+                  then begin
+                    (* rotate: the live file becomes the single backup *)
+                    close_out_noerr f.oc;
+                    (try Sys.rename f.path (f.path ^ ".1")
+                     with Sys_error _ -> ());
+                    f.oc <- open_sink f.path;
+                    f.size <- out_channel_length f.oc
+                  end;
+                  output_string f.oc line;
+                  f.size <- f.size + String.length line;
+                  flush f.oc
                 with Sys_error _ -> ())))
 
 let count t = Mutex.protect t.mutex (fun () -> t.seq)
@@ -103,7 +142,7 @@ let count t = Mutex.protect t.mutex (fun () -> t.seq)
 let close t =
   Mutex.protect t.mutex (fun () ->
       match t.sink with
-      | Channel oc ->
+      | File f ->
           t.sink <- Null;
-          (try close_out oc with Sys_error _ -> ())
+          (try close_out f.oc with Sys_error _ -> ())
       | Buf _ | Null -> ())

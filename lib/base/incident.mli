@@ -25,6 +25,10 @@ type kind =
   | Signal  (** SIGINT/SIGTERM observed; final flush initiated *)
   | Run_start
   | Run_end
+  | Worker_spawn  (** a fleet forked (or replaced) a worker process *)
+  | Worker_death  (** a worker exited, was signaled, or was killed *)
+  | Shard_done  (** a fleet shard completed (with timing) *)
+  | Chaos  (** the chaos self-test deliberately killed a worker *)
 
 val kind_name : kind -> string
 
@@ -36,8 +40,15 @@ val null : t
 
 val is_null : t -> bool
 
-val to_file : string -> (t, Error.t) result
-(** Append-mode sink on [path] (created if missing). *)
+val default_max_bytes : int
+(** The rotation cap of a file sink: 64 MiB. *)
+
+val to_file : ?max_bytes:int -> string -> (t, Error.t) result
+(** Append-mode sink on [path] (created if missing). Once the live
+    file would cross [max_bytes] (default {!default_max_bytes}) it is
+    rotated to [path ^ ".1"] — overwriting the previous backup — and a
+    fresh file is started, so a retry storm in a long fleet run keeps
+    at most ~2 x [max_bytes] of log on disk. *)
 
 val to_buffer : Buffer.t -> t
 (** In-memory sink, for tests. *)

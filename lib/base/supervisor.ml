@@ -28,11 +28,24 @@ let ms_between ~clock ~since = Int64.to_float (Int64.sub (clock ()) since) /. 1e
 
 let capture_exn ~label exn =
   let bt = String.trim (Printexc.get_backtrace ()) in
+  (* A pool failure carries the *item's* backtrace, captured on the
+     worker domain before the exception crossed the join — surface it
+     separately or it is lost (the ambient backtrace here only shows
+     the join point). *)
+  let pool_ctx =
+    match exn with
+    | Pool.Item_failure { index; backtrace; _ } ->
+        ("pool-item", string_of_int index)
+        ::
+        (let ib = String.trim backtrace in
+         if ib = "" then [] else [ ("item-backtrace", ib) ])
+    | _ -> []
+  in
   Error.make ~layer:"supervisor" ~code:Error.Internal
     ~context:
       (( "item", label )
       :: ("exn", Printexc.to_string exn)
-      :: (if bt = "" then [] else [ ("backtrace", bt) ]))
+      :: ((if bt = "" then [] else [ ("backtrace", bt) ]) @ pool_ctx))
     "work item raised"
 
 let supervise cfg ~label f =

@@ -570,6 +570,151 @@ let report_supervised ?(quick = false) ?pool ?on_checkpoint session ppf =
           s.cells;
       o
 
+(* ------------------------------------------------------------------ *)
+(* Fleet (multi-process) execution                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Fleet = Promise_core.Fleet
+
+type fleet_outcome =
+  | Fleet_completed of cell_result list * Fleet.summary
+  | Fleet_interrupted of { completed_shards : int; total_shards : int }
+  | Fleet_rejected of E.t
+
+let capture_cell_exn ~what exn =
+  let bt = String.trim (Printexc.get_backtrace ()) in
+  E.make ~layer:"campaign-fleet" ~code:E.Internal
+    ~context:
+      (("what", what)
+      :: ("exn", Printexc.to_string exn)
+      :: (if bt = "" then [] else [ ("backtrace", bt) ]))
+    "cell raised in fleet worker"
+
+(* The fleet path shards the same (benchmark x scenario) grid as the
+   supervised path into contiguous index ranges, one range per forked
+   worker shard. A shard recomputes the baselines of the benchmarks it
+   touches (memoized within the shard) — deterministic recomputation
+   beats shipping floats between processes, and a shard's result then
+   depends only on its index, which is what makes kill/resume runs
+   bit-identical to clean ones. *)
+let run_cells_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ~scenarios
+    ~benchmarks () =
+  let barr = Array.of_list benchmarks and sarr = Array.of_list scenarios in
+  let nb = Array.length barr and ns = Array.length sarr in
+  let total = nb * ns in
+  if total = 0 then
+    Fleet_completed
+      ( [],
+        {
+          Fleet.shards = 0;
+          workers = 0;
+          restarts = 0;
+          resumed = 0;
+          quarantined = 0;
+          total_ms = 0.0;
+          timings = [||];
+        } )
+  else begin
+    let ranges = Fleet.ranges ~shards ~items:total in
+    let digest = config_digest ~scenarios ~benchmarks in
+    let f ~shard =
+      let off, len = ranges.(shard) in
+      let baselines = Array.make nb None in
+      let baseline_for bi =
+        match baselines.(bi) with
+        | Some r -> r
+        | None ->
+            let r =
+              try
+                let b = barr.(bi) in
+                Ok
+                  (b.B.evaluate ~swings:(B.max_swings b) ())
+                    .B.promise_accuracy
+              with exn ->
+                Error
+                  (capture_cell_exn
+                     ~what:("baseline:" ^ barr.(bi).B.short)
+                     exn)
+            in
+            baselines.(bi) <- Some r;
+            r
+      in
+      let cell_of gi =
+        let bi = gi / ns and si = gi mod ns in
+        let b = barr.(bi) and s = sarr.(si) in
+        let r_cell =
+          match baseline_for bi with
+          | Error e -> Error (E.with_context e [ ("cascade", "baseline failed") ])
+          | Ok baseline -> (
+              try Ok (run_cell ~scenario:s b ~baseline)
+              with exn ->
+                Error
+                  (capture_cell_exn
+                     ~what:(Printf.sprintf "cell:%s:%s" b.B.short s.sname)
+                     exn))
+        in
+        { r_benchmark = b.B.short; r_scenario = s.sname; r_cell }
+      in
+      Ok (List.init len (fun k -> cell_of (off + k)))
+    in
+    match Fleet.run ?on_shard_done fcfg ~digest ~shards:(Array.length ranges) ~f with
+    | Fleet.Fleet_rejected e -> Fleet_rejected e
+    | Fleet.Fleet_interrupted { completed; total } ->
+        Fleet_interrupted { completed_shards = completed; total_shards = total }
+    | Fleet.Fleet_done (slots, summary) ->
+        (* shard-major expansion: a quarantined shard becomes one
+           QUARANTINED row per cell it covered *)
+        let cells =
+          Array.mapi
+            (fun sh slot ->
+              match slot with
+              | Ok cells -> cells
+              | Error e ->
+                  let off, len = ranges.(sh) in
+                  List.init len (fun k ->
+                      let gi = off + k in
+                      {
+                        r_benchmark = (barr.(gi / ns)).B.short;
+                        r_scenario = sarr.(gi mod ns).sname;
+                        r_cell =
+                          Error
+                            (E.with_context e
+                               [ ("shard", string_of_int sh) ]);
+                      }))
+            slots
+          |> Array.to_list |> List.concat
+        in
+        Fleet_completed (cells, summary)
+  end
+
+let report_fleet ?(quick = false) ?on_shard_done fcfg ~shards ppf =
+  let scenarios = if quick then quick_scenarios () else all_scenarios () in
+  let benchmarks = fast_benchmarks () in
+  Format.fprintf ppf
+    "@.== Fault-injection campaign (%d scenarios x %d benchmarks%s) ==@."
+    (List.length scenarios) (List.length benchmarks)
+    (if quick then ", quick" else "");
+  match run_cells_fleet ?on_shard_done fcfg ~shards ~scenarios ~benchmarks () with
+  | (Fleet_interrupted _ | Fleet_rejected _) as o -> o
+  | Fleet_completed (results, _) as o ->
+      print_cell_results ppf results;
+      let ok_cells =
+        List.filter_map (fun r -> Result.to_option r.r_cell) results
+      in
+      if ok_cells <> [] then begin
+        let detection, recovery, mean_residual = summarize ok_cells in
+        Format.fprintf ppf
+          "   detection rate %.0f%%   recovery rate %.0f%%   mean residual \
+           loss %.3f (budget %.2f)@."
+          (100.0 *. detection) (100.0 *. recovery) mean_residual
+          residual_budget
+      end;
+      let s = summarize_results results in
+      if s.quarantined > 0 then
+        Format.fprintf ppf "   quarantined cells: %d of %d@." s.quarantined
+          s.cells;
+      o
+
 let report ?(quick = false) ?pool ppf =
   let scenarios = if quick then quick_scenarios () else all_scenarios () in
   let benchmarks = fast_benchmarks () in

@@ -136,3 +136,43 @@ val report_supervised :
 (** Supervised {!report}: prints the same header/table/summary (plus a
     quarantine line when any cell was isolated) and returns the
     outcome for the CLI to turn into an exit status. *)
+
+(** {2 Fleet (multi-process) execution}
+
+    The same grid sharded across forked worker processes via
+    {!Promise_core.Fleet}: contiguous index ranges, one per shard,
+    each shard recomputing (memoized, deterministic) the baselines of
+    the benchmarks it touches. Results aggregate shard-major, so the
+    cell list — and the printed table — is bit-identical to the
+    supervised path at any worker count, through worker crashes, and
+    across kill/resume cycles. A quarantined shard expands to one
+    QUARANTINED row per cell it covered. *)
+
+type fleet_outcome =
+  | Fleet_completed of cell_result list * Promise_core.Fleet.summary
+  | Fleet_interrupted of { completed_shards : int; total_shards : int }
+      (** the stop flag was raised; finished shards are in the
+          checkpoint dir (when configured) *)
+  | Fleet_rejected of Promise_core.Error.t
+
+val run_cells_fleet :
+  ?on_shard_done:(shard:int -> completed:int -> total:int -> unit) ->
+  Promise_core.Fleet.config ->
+  shards:int ->
+  scenarios:scenario list ->
+  benchmarks:Benchmarks.t list ->
+  unit ->
+  fleet_outcome
+(** {!run_cells} across a worker fleet. [shards] is a request: the
+    grid is split into at most that many non-empty ranges. *)
+
+val report_fleet :
+  ?quick:bool ->
+  ?on_shard_done:(shard:int -> completed:int -> total:int -> unit) ->
+  Promise_core.Fleet.config ->
+  shards:int ->
+  Format.formatter ->
+  fleet_outcome
+(** Fleet {!report_supervised}: identical header/table/summary on
+    [ppf] (fleet statistics are in the returned summary, not printed —
+    stdout stays diffable against the supervised path). *)

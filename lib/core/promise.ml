@@ -116,6 +116,8 @@ module Retry = Promise_core.Retry
 module Incident = Promise_core.Incident
 module Checkpoint = Promise_core.Checkpoint
 module Supervisor = Promise_core.Supervisor
+module Ipc = Promise_core.Ipc
+module Fleet = Promise_core.Fleet
 module Validate = Promise_core.Validate
 module Benchmarks = Benchmarks
 module Report = Report

@@ -725,3 +725,101 @@ let run_sections_supervised ?(pool = Pool.sequential)
       in
       loop
         (List.filter (fun i -> rendered.(i) = None) (List.init total Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Fleet (multi-process) rendering                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Fleet = Promise_core.Fleet
+
+type sections_fleet_outcome =
+  | Sections_fleet_done of { quarantined : int; summary : Fleet.summary }
+  | Sections_fleet_interrupted of { completed_shards : int; total_shards : int }
+  | Sections_fleet_rejected of E.t
+
+let empty_fleet_summary =
+  {
+    Fleet.shards = 0;
+    workers = 0;
+    restarts = 0;
+    resumed = 0;
+    quarantined = 0;
+    total_ms = 0.0;
+    timings = [||];
+  }
+
+(* The named sections sharded across forked workers: each shard
+   renders a contiguous slice of the section list to strings (one
+   buffer per section, exceptions captured per section so a broken
+   section quarantines only itself), and the parent prints the slices
+   in list order — byte-identical to the in-process paths whatever the
+   worker count or how many workers died on the way. *)
+let run_sections_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ppf names =
+  let named =
+    List.filter_map
+      (fun name ->
+        List.find_opt (fun (n, _, _) -> n = name) sections
+        |> Option.map (fun (n, _, f) -> (n, f)))
+      names
+  in
+  let narr = Array.of_list named in
+  let total = Array.length narr in
+  if total = 0 then
+    Sections_fleet_done { quarantined = 0; summary = empty_fleet_summary }
+  else begin
+    let ranges = Fleet.ranges ~shards ~items:total in
+    let digest = sections_digest (List.map fst named) in
+    let render_one i =
+      let name, f = narr.(i) in
+      try
+        let buf = Buffer.create 4096 in
+        let bppf = Format.formatter_of_buffer buf in
+        f Pool.sequential bppf;
+        Format.pp_print_flush bppf ();
+        Ok (Buffer.contents buf)
+      with exn ->
+        let bt = String.trim (Printexc.get_backtrace ()) in
+        Error
+          (E.make ~layer:"report-fleet" ~code:E.Internal
+             ~context:
+               (("section", name)
+               :: ("exn", Printexc.to_string exn)
+               :: (if bt = "" then [] else [ ("backtrace", bt) ]))
+             "section raised in fleet worker")
+    in
+    let f ~shard =
+      let off, len = ranges.(shard) in
+      Ok (List.init len (fun k -> render_one (off + k)))
+    in
+    match Fleet.run ?on_shard_done fcfg ~digest ~shards:(Array.length ranges) ~f with
+    | Fleet.Fleet_rejected e -> Sections_fleet_rejected e
+    | Fleet.Fleet_interrupted { completed; total } ->
+        Sections_fleet_interrupted
+          { completed_shards = completed; total_shards = total }
+    | Fleet.Fleet_done (slots, summary) ->
+        let quarantined = ref 0 in
+        Array.iteri
+          (fun sh slot ->
+            let off, len = ranges.(sh) in
+            let per_section =
+              match slot with
+              | Ok rendered -> rendered
+              | Error e ->
+                  List.init len (fun _ ->
+                      Error (E.with_context e [ ("shard", string_of_int sh) ]))
+            in
+            List.iteri
+              (fun k r ->
+                match r with
+                | Ok s -> Format.pp_print_string ppf s
+                | Error e ->
+                    incr quarantined;
+                    Format.fprintf ppf
+                      "@.== %s ==@.   SECTION QUARANTINED: %s@."
+                      (fst narr.(off + k))
+                      (E.to_string e))
+              per_section)
+          slots;
+        Format.pp_print_flush ppf ();
+        Sections_fleet_done { quarantined = !quarantined; summary }
+  end

@@ -154,3 +154,28 @@ val run_sections_supervised :
     {!print_sections} however often the run was interrupted and
     resumed. Unknown names are skipped (the CLIs report them). A
     completed run removes its checkpoint. *)
+
+(** {2 Fleet (multi-process) rendering} *)
+
+type sections_fleet_outcome =
+  | Sections_fleet_done of {
+      quarantined : int;
+      summary : Promise_core.Fleet.summary;
+    }
+      (** printed; [quarantined] sections were replaced by their error *)
+  | Sections_fleet_interrupted of { completed_shards : int; total_shards : int }
+  | Sections_fleet_rejected of Promise_core.Error.t
+
+val run_sections_fleet :
+  ?on_shard_done:(shard:int -> completed:int -> total:int -> unit) ->
+  Promise_core.Fleet.config ->
+  shards:int ->
+  Format.formatter ->
+  string list ->
+  sections_fleet_outcome
+(** {!run_sections_supervised} across forked worker processes: the
+    named sections are split into at most [shards] contiguous slices,
+    each rendered in a crash-isolated worker (exceptions captured per
+    section; a quarantined {e shard} quarantines every section it
+    covered), and printed in section order — byte-identical to
+    {!print_sections} through worker crashes and kill/resume cycles. *)

@@ -1,0 +1,26 @@
+The fleet runner shards a report across forked workers; stdout is
+identical to the single-process report (progress goes to stderr).
+
+  $ promise_fleet report table1 table3 isa --shards 2 --workers 2 2>/dev/null > fleet.txt
+  $ promise_report table1 table3 isa > plain.txt
+  $ cmp fleet.txt plain.txt
+
+Validation: flags and workloads are checked before any fork.
+
+  $ promise_fleet report table1 --workers 0 2>&1 | tail -1
+  Try 'promise-fleet --help' for more information.
+
+  $ promise_fleet campaign --resume
+  promise-fleet: --resume needs --checkpoint-dir DIR to resume from
+  [124]
+
+  $ promise_fleet bogus
+  promise-fleet: unknown workload "bogus" (expected campaign or report)
+  [124]
+
+  $ promise_fleet report nosuchsection
+  promise-fleet: unknown sections: nosuchsection
+  [124]
+
+  $ promise_fleet report table1 --chaos bogus 2>&1 | tail -1
+  Try 'promise-fleet --help' for more information.

@@ -310,6 +310,114 @@ let test_stop_flag () =
   check bool "set" true (Sup.stop_requested stop);
   check bool "no signal for programmatic stop" true (Sup.stop_signal stop = None)
 
+let test_map_result_empty_stream () =
+  (* zero items: no pool work, no incidents, just [] back *)
+  let buf = Buffer.create 16 in
+  let inc = Inc.to_buffer buf in
+  P.Pool.with_pool ~jobs:2 (fun pool ->
+      let cfg = Sup.config ~incidents:inc ~live_watchdog:false () in
+      let out =
+        Sup.map_result ~pool cfg
+          ~label:(Printf.sprintf "item-%d")
+          (fun _ -> fail "f must not run on an empty stream")
+          []
+      in
+      check (list reject) "empty in, empty out" [] out);
+  check int "no incidents for empty stream" 0 (Inc.count inc)
+
+let test_deadline_exactly_equal_passes () =
+  (* the deadline check is strict: elapsed > timeout. An attempt whose
+     elapsed time equals the deadline exactly must still pass. The
+     fake clock advances exactly 10 ms per reading, and supervise
+     reads it twice (t0, then after f), so elapsed == 10.0 ms. *)
+  let now = ref 0L in
+  let clock () =
+    now := Int64.add !now 10_000_000L;
+    !now
+  in
+  let buf = Buffer.create 64 in
+  let inc = Inc.to_buffer buf in
+  let cfg =
+    Sup.config ~timeout_ms:10.0 ~clock ~incidents:inc ~live_watchdog:false
+      ~sleep:(fun _ -> ())
+      ()
+  in
+  let r = Sup.supervise cfg ~label:"on-time" (fun ~attempt:_ -> Ok 7) in
+  check int "elapsed == deadline is not a timeout" 7 (get_ok r);
+  check int "no timeout incident" 0 (Inc.count inc)
+
+let test_stop_before_first_chunk () =
+  (* a stop flag raised before any work: both drivers must return an
+     Interrupted outcome with completed = 0, before touching a cell *)
+  let scenarios =
+    match P.Campaign.quick_scenarios () with
+    | a :: _ -> [ a ]
+    | [] -> fail "expected at least one quick scenario"
+  in
+  let benchmarks = [ P.Benchmarks.matched_filter () ] in
+  let stop = Sup.never_stop () in
+  Sup.request_stop stop;
+  let session = Sup.session ~stop () in
+  (match P.Campaign.run_cells_supervised session ~scenarios ~benchmarks () with
+  | P.Campaign.Interrupted { completed; total } ->
+      check int "no cells computed" 0 completed;
+      check bool "total still reported" true (total > 0)
+  | _ -> fail "expected Interrupted before the first chunk");
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match P.Report.run_sections_supervised session ppf [ "table1" ] with
+  | P.Report.Sections_interrupted { completed; total } ->
+      check int "no sections rendered" 0 completed;
+      check int "one section requested" 1 total
+  | _ -> fail "expected Sections_interrupted before the first section")
+
+let test_pool_item_failure_context () =
+  (* a Pool.Item_failure escaping the supervised function must surface
+     the failing item index and its backtrace in the typed error *)
+  let cfg = Sup.config ~live_watchdog:false () in
+  let r =
+    Sup.supervise cfg ~label:"nested-pool" (fun ~attempt:_ ->
+        raise
+          (P.Pool.Item_failure
+             { index = 3; exn = Failure "boom"; backtrace = "frame0\nframe1" }))
+  in
+  match r with
+  | Ok _ -> fail "expected the Item_failure to become an Error"
+  | Error e ->
+      check string "failing item index" "3"
+        (List.assoc "pool-item" e.E.context);
+      check string "item backtrace carried" "frame0\nframe1"
+        (List.assoc "item-backtrace" e.E.context)
+
+let test_checkpoint_dir_fsync () =
+  (* durability: save must fsync the containing directory after the
+     rename, or a crash can lose the directory entry *)
+  let path = tmp_path ".ckpt" in
+  let before = !Ckpt.For_tests.dir_fsyncs in
+  get_ok (Ckpt.save ~path ~config_digest:"fsync-test" [ 42 ]);
+  check bool "directory fsynced after rename" true
+    (!Ckpt.For_tests.dir_fsyncs > before);
+  let payload : int list = get_ok (Ckpt.load ~path ~config_digest:"fsync-test") in
+  check (list int) "payload survives" [ 42 ] payload;
+  Ckpt.remove path
+
+let test_incident_rotation () =
+  (* a file sink caps its size: crossing max_bytes rotates the live
+     file to path ^ ".1" so disk use stays bounded *)
+  let path = tmp_path ".jsonl" in
+  let backup = path ^ ".1" in
+  let t = get_ok (Inc.to_file ~max_bytes:400 path) in
+  for i = 1 to 50 do
+    Inc.record t Inc.Retry [ ("item", Printf.sprintf "cell-%d" i) ]
+  done;
+  Inc.close t;
+  check bool "rotated backup exists" true (Sys.file_exists backup);
+  check bool "live file stays under the cap" true
+    ((Unix.stat path).Unix.st_size <= 400);
+  check int "no record lost" 50 (Inc.count t);
+  Sys.remove path;
+  Sys.remove backup
+
 (* ------------------------------------------------------------------ *)
 (* Campaign: interrupt + resume == uninterrupted, bit for bit          *)
 (* ------------------------------------------------------------------ *)
@@ -455,9 +563,15 @@ let () =
             test_checkpoint_stale;
           Alcotest.test_case "corrupt and missing files" `Quick
             test_checkpoint_corrupt_and_missing;
+          Alcotest.test_case "directory fsync after rename" `Quick
+            test_checkpoint_dir_fsync;
         ] );
       ( "incidents",
-        [ Alcotest.test_case "JSONL shape" `Quick test_incident_jsonl ] );
+        [
+          Alcotest.test_case "JSONL shape" `Quick test_incident_jsonl;
+          Alcotest.test_case "file sink rotation cap" `Quick
+            test_incident_rotation;
+        ] );
       ( "validate",
         [
           Alcotest.test_case "flag parsing" `Quick test_validate;
@@ -476,6 +590,14 @@ let () =
           Alcotest.test_case "map_result isolates failures" `Quick
             test_map_result_isolates;
           Alcotest.test_case "stop flag" `Quick test_stop_flag;
+          Alcotest.test_case "empty stream is a no-op" `Quick
+            test_map_result_empty_stream;
+          Alcotest.test_case "deadline exactly equal passes" `Quick
+            test_deadline_exactly_equal_passes;
+          Alcotest.test_case "stop raised before the first chunk" `Quick
+            test_stop_before_first_chunk;
+          Alcotest.test_case "pool item failure context" `Quick
+            test_pool_item_failure_context;
         ] );
       ( "resume",
         [
