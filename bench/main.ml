@@ -190,26 +190,29 @@ let run_parallel_bench ~jobs:requested =
    single-thread task throughput, Gc minor words per task, and a full
    output comparison (bit-identity makes the two runs produce the same
    emission stream draw for draw). *)
+(* Deterministic data image shared by the kernels and batch benches:
+   every bank row and X-REG slot filled from one seeded stream, so twin
+   machines built from the same seed replay identical decisions. *)
+let fill_machine machine =
+  let lanes = P.Arch.Params.lanes in
+  let rng = P.Analog.Rng.create 7 in
+  let codes () = Array.init lanes (fun _ -> P.Analog.Rng.int rng 255 - 128) in
+  for bi = 0 to P.Arch.Machine.n_banks machine - 1 do
+    let bank = P.Arch.Machine.bank machine bi in
+    for row = 0 to 63 do
+      P.Arch.Bitcell_array.write (P.Arch.Bank.array bank) ~word_row:row
+        (codes ())
+    done;
+    for i = 0 to P.Arch.Params.xreg_depth - 1 do
+      P.Arch.Xreg.load (P.Arch.Bank.xreg bank) ~index:i (codes ())
+    done
+  done
+
 let run_kernels_bench ~quick =
   let b = P.Benchmarks.matched_filter () in
   let program = b.P.Benchmarks.per_decision_program in
   let n_tasks = List.length program.P.Isa.Program.tasks in
   let reps = if quick then 300 else 2000 in
-  let lanes = P.Arch.Params.lanes in
-  let fill_machine machine =
-    let rng = P.Analog.Rng.create 7 in
-    let codes () = Array.init lanes (fun _ -> P.Analog.Rng.int rng 255 - 128) in
-    for bi = 0 to P.Arch.Machine.n_banks machine - 1 do
-      let bank = P.Arch.Machine.bank machine bi in
-      for row = 0 to 63 do
-        P.Arch.Bitcell_array.write (P.Arch.Bank.array bank) ~word_row:row
-          (codes ())
-      done;
-      for i = 0 to P.Arch.Params.xreg_depth - 1 do
-        P.Arch.Xreg.load (P.Arch.Bank.xreg bank) ~index:i (codes ())
-      done
-    done
-  in
   let time_mode mode =
     let machine =
       P.Arch.Machine.create
@@ -249,10 +252,18 @@ let run_kernels_bench ~quick =
       if s < !seconds then seconds := s
     done;
     let total = float_of_int (reps * n_tasks) in
-    (!seconds, total /. !seconds, minor /. total, !outputs)
+    ( !seconds,
+      total /. !seconds,
+      minor /. total,
+      minor /. float_of_int reps,
+      !outputs )
   in
-  let ref_s, ref_tps, ref_mwpt, ref_out = time_mode P.Arch.Machine.Reference in
-  let fus_s, fus_tps, fus_mwpt, fus_out = time_mode P.Arch.Machine.Fused in
+  let ref_s, ref_tps, ref_mwpt, ref_mwpd, ref_out =
+    time_mode P.Arch.Machine.Reference
+  in
+  let fus_s, fus_tps, fus_mwpt, fus_mwpd, fus_out =
+    time_mode P.Arch.Machine.Fused
+  in
   let identical = ref_out = fus_out in
   let speedup = ref_s /. fus_s in
   let oc = open_out "BENCH_kernels.json" in
@@ -263,22 +274,198 @@ let run_kernels_bench ~quick =
     \  \"reps\": %d,\n\
     \  \"tasks\": %d,\n\
     \  \"reference\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
-     \"minor_words_per_task\": %.1f },\n\
+     \"minor_words_per_task\": %.1f, \"minor_words_per_decision\": %.1f },\n\
     \  \"fused\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
-     \"minor_words_per_task\": %.1f },\n\
+     \"minor_words_per_task\": %.1f, \"minor_words_per_decision\": %.1f },\n\
     \  \"speedup\": %.3f,\n\
     \  \"identical_output\": %b\n\
      }\n"
-    reps (reps * n_tasks) ref_s ref_tps ref_mwpt fus_s fus_tps fus_mwpt
-    speedup identical;
+    reps (reps * n_tasks) ref_s ref_tps ref_mwpt ref_mwpd fus_s fus_tps
+    fus_mwpt fus_mwpd speedup identical;
   close_out oc;
   Format.fprintf ppf
-    "kernel bench: reference %.1f tasks/s (%.0f minor words/task), fused \
-     %.1f tasks/s (%.0f minor words/task), speedup %.2fx, \
-     identical_output=%b -> BENCH_kernels.json@."
-    ref_tps ref_mwpt fus_tps fus_mwpt speedup identical;
+    "kernel bench: reference %.1f tasks/s (%.0f minor words/task, %.0f \
+     /decision), fused %.1f tasks/s (%.0f minor words/task, %.0f /decision), \
+     speedup %.2fx, identical_output=%b -> BENCH_kernels.json@."
+    ref_tps ref_mwpt ref_mwpd fus_tps fus_mwpt fus_mwpd speedup identical;
   if not identical then (
     Format.fprintf ppf "FAIL: fused output differs from reference@.";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Batched-execution macro-benchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays the matched-filter decision on twin machines — one decision
+   at a time (the PR-3 fused baseline) against the batch engine — and
+   proves the batched emission stream bitwise identical to the
+   sequential one, including the ragged final batch. Three batched
+   rows: the program-level path (run_program_batch), the
+   zero-allocation serving path (execute_batch_into), and the same
+   serving path noiseless (noise generation is drawn bit-identically
+   in both paths, so on a single-core host it bounds the achievable
+   wall-clock win; the noiseless row shows the engine without it). *)
+let run_batch_bench ~quick ~batch =
+  let b = P.Benchmarks.matched_filter () in
+  let program = b.P.Benchmarks.per_decision_program in
+  let n_tasks = List.length program.P.Isa.Program.tasks in
+  (* +3 forces a ragged final batch for every even batch width *)
+  let decisions = max batch ((if quick then 512 else 4096) + 3) in
+  let mk ?(noise = Some 42) () =
+    let machine =
+      P.Arch.Machine.create
+        {
+          P.Arch.Machine.banks = max 1 b.P.Benchmarks.banks;
+          profile = P.Arch.Bank.Silicon;
+          noise_seed = noise;
+        }
+    in
+    fill_machine machine;
+    machine
+  in
+  let ok = function Ok v -> v | Error e -> failwith (P.Error.to_string e) in
+  let outputs_of rs =
+    List.map (fun r -> (r.P.Arch.Machine.emitted, r.P.Arch.Machine.argext)) rs
+  in
+  let measure f =
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let minor = Gc.minor_words () -. minor0 in
+    let tasks = float_of_int (decisions * n_tasks) in
+    (v, seconds, tasks /. seconds, minor /. tasks)
+  in
+  (* 1. fused sequential: one run_program per decision (the PR-3 row) *)
+  let seq_machine = mk () in
+  ignore (ok (P.Arch.Machine.run_program ~kernel_mode:P.Arch.Machine.Fused seq_machine program));
+  let seq_out, seq_s, seq_tps, seq_mwpt =
+    measure (fun () ->
+        let acc = ref [] in
+        for _ = 1 to decisions do
+          acc :=
+            outputs_of
+              (ok
+                 (P.Arch.Machine.run_program ~kernel_mode:P.Arch.Machine.Fused seq_machine
+                    program))
+            :: !acc
+        done;
+        List.rev !acc)
+  in
+  (* 2. batched program path, chunked at the requested width *)
+  let bat_machine = mk () in
+  ignore (ok (P.Arch.Machine.run_program ~kernel_mode:P.Arch.Machine.Fused bat_machine program));
+  let bat_out, bat_s, bat_tps, bat_mwpt =
+    measure (fun () ->
+        let acc = ref [] in
+        let remaining = ref decisions in
+        while !remaining > 0 do
+          let n = min batch !remaining in
+          let arr =
+            ok
+              (P.Arch.Machine.run_program_batch ~kernel_mode:P.Arch.Machine.Fused bat_machine
+                 program ~batch:n)
+          in
+          Array.iter (fun rs -> acc := outputs_of rs :: !acc) arr;
+          remaining := !remaining - n
+        done;
+        List.rev !acc)
+  in
+  let identical = seq_out = bat_out in
+  (* 3. the zero-allocation serving path on the program's launch *)
+  let task = List.hd program.P.Isa.Program.tasks in
+  let launch = P.Arch.Machine.default_launch task in
+  let epd =
+    P.Arch.Machine.emissions_per_decision task
+      ~th:launch.P.Arch.Machine.th
+  in
+  let out =
+    Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (batch * epd)
+  in
+  let chunked_into machine =
+    let remaining = ref decisions in
+    while !remaining > 0 do
+      let n = min batch !remaining in
+      ignore (ok (P.Arch.Machine.execute_batch_into machine launch ~batch:n ~out));
+      remaining := !remaining - n
+    done
+  in
+  let time_into ~noise =
+    let machine = mk ~noise () in
+    ignore (ok (P.Arch.Machine.execute_batch_into machine launch ~batch:1 ~out));
+    let (), s, tps, mwpt = measure (fun () -> chunked_into machine) in
+    (s, tps, mwpt)
+  in
+  let into_s, into_tps, into_mwpt = time_into ~noise:(Some 42) in
+  let nless_s, nless_tps, nless_mwpt = time_into ~noise:None in
+  (* serving-path identity: a fresh twin pair, chunked vs sequential *)
+  let into_identical =
+    let check_n = min decisions 259 in
+    let m_into = mk () and m_seq = mk () in
+    let got = ref [] in
+    let remaining = ref check_n in
+    while !remaining > 0 do
+      let n = min batch !remaining in
+      ignore (ok (P.Arch.Machine.execute_batch_into m_into launch ~batch:n ~out));
+      for d = 0 to (n * epd) - 1 do
+        got := out.{d} :: !got
+      done;
+      remaining := !remaining - n
+    done;
+    let want = ref [] in
+    for _ = 1 to check_n do
+      let r = P.Arch.Machine.execute_exn ~kernel_mode:P.Arch.Machine.Fused m_seq launch in
+      List.iter
+        (fun v -> want := v :: !want)
+        (r.P.Arch.Machine.emitted @ r.P.Arch.Machine.acc_out)
+    done;
+    List.length !got = List.length !want
+    && List.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         !got !want
+  in
+  let cores = Domain.recommended_domain_count () in
+  let speedup = seq_s /. bat_s in
+  let speedup_into = seq_s /. into_s in
+  let oc = open_out "BENCH_batch.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"matched filter (N=512) per-decision replay, single \
+     thread\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"batch\": %d,\n\
+    \  \"decisions\": %d,\n\
+    \  \"fused_sequential\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
+     \"minor_words_per_task\": %.1f },\n\
+    \  \"batched_program\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
+     \"minor_words_per_task\": %.1f },\n\
+    \  \"batched_into\": { \"seconds\": %.4f, \"tasks_per_sec\": %.1f, \
+     \"minor_words_per_task\": %.1f },\n\
+    \  \"batched_into_noiseless\": { \"seconds\": %.4f, \"tasks_per_sec\": \
+     %.1f, \"minor_words_per_task\": %.1f },\n\
+    \  \"speedup_vs_fused\": %.3f,\n\
+    \  \"speedup_into_vs_fused\": %.3f,\n\
+    \  \"identical_output\": %b,\n\
+    \  \"note\": \"noise variates are drawn bit-identically in both paths \
+     (the identity contract), so at jobs=1 they bound the wall-clock win; \
+     the batch engine's gain is allocation (minor words/task) and the \
+     noiseless row\"\n\
+     }\n"
+    cores batch decisions seq_s seq_tps seq_mwpt bat_s bat_tps bat_mwpt into_s
+    into_tps into_mwpt nless_s nless_tps nless_mwpt speedup speedup_into
+    (identical && into_identical);
+  close_out oc;
+  Format.fprintf ppf
+    "batch bench (batch=%d, %d decisions): fused %.1f tasks/s (%.0f minor \
+     words/task), batched %.1f tasks/s (%.0f), into %.1f tasks/s (%.1f), \
+     noiseless into %.1f tasks/s, speedup %.2fx, identical_output=%b -> \
+     BENCH_batch.json@."
+    batch decisions seq_tps seq_mwpt bat_tps bat_mwpt into_tps into_mwpt
+    nless_tps speedup
+    (identical && into_identical);
+  if not (identical && into_identical) then (
+    Format.fprintf ppf "FAIL: batched output differs from sequential@.";
     exit 1)
 
 (* ------------------------------------------------------------------ *)
@@ -290,6 +477,7 @@ type cli = {
   quick : bool;
   parallel : bool;
   kernels : bool;
+  batch : int option;
   checkpoint : string option;
   resume : bool;
   incidents : string option;
@@ -316,6 +504,10 @@ let parse_args args =
     | ("--jobs" | "-j") :: n :: rest ->
         let* n = P.Validate.int_in_range ~what:"--jobs" ~min:1 ~max:64 n in
         parse { acc with jobs = Some n } rest
+    | [ "--batch" ] -> missing "--batch"
+    | "--batch" :: n :: rest ->
+        let* n = P.Validate.int_in_range ~what:"--batch" ~min:1 ~max:4096 n in
+        parse { acc with batch = Some n } rest
     | [ "--checkpoint" ] -> missing "--checkpoint"
     | "--checkpoint" :: file :: rest ->
         parse { acc with checkpoint = Some file } rest
@@ -332,6 +524,7 @@ let parse_args args =
         quick = false;
         parallel = false;
         kernels = false;
+        batch = None;
         checkpoint = None;
         resume = false;
         incidents = None;
@@ -420,8 +613,11 @@ let () =
   | Error e ->
       prerr_endline (P.Error.to_string e);
       exit 2
-  | Ok cli ->
-      if cli.kernels then run_kernels_bench ~quick:cli.quick
-      else if cli.parallel then
-        run_parallel_bench ~jobs:(Option.value cli.jobs ~default:4)
-      else run_report cli
+  | Ok cli -> (
+      match cli.batch with
+      | Some batch -> run_batch_bench ~quick:cli.quick ~batch
+      | None ->
+          if cli.kernels then run_kernels_bench ~quick:cli.quick
+          else if cli.parallel then
+            run_parallel_bench ~jobs:(Option.value cli.jobs ~default:4)
+          else run_report cli)

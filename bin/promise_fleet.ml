@@ -15,7 +15,7 @@
    mid-run and let supervision prove the output does not change.
 
    Usage: promise_fleet (campaign|report [SECTION...])
-            [--quick] [--shards N] [--workers M]
+            [--quick] [--shards N] [--workers M] [--batch N]
             [--checkpoint-dir DIR] [--resume] [--incidents FILE]
             [--timeout-ms T] [--liveness-ms L] [--heartbeat-ms H]
             [--max-restarts R] [--seed S] [--chaos kill-one]
@@ -106,7 +106,7 @@ let resume_hint ~workload ~quick ~checkpoint_dir =
     (if quick then " --quick" else "")
     (Option.value checkpoint_dir ~default:"DIR")
 
-let run workload_args quick shards workers seed timeout_ms liveness_ms
+let run workload_args quick shards workers batch seed timeout_ms liveness_ms
     heartbeat_ms max_restarts checkpoint_dir resume incidents_path chaos
     bench_path =
   match P.check_env () with
@@ -159,7 +159,7 @@ let run workload_args quick shards workers seed timeout_ms liveness_ms
                 let status =
                   if workload = "campaign" then begin
                     match
-                      P.Campaign.report_fleet ~quick ~on_shard_done cfg
+                      P.Campaign.report_fleet ~quick ~on_shard_done ~batch cfg
                         ~shards ppf
                     with
                     | P.Campaign.Fleet_interrupted _ ->
@@ -264,6 +264,19 @@ let workers_arg =
           "Forked worker processes. The output is bit-identical at any \
            worker count.")
 
+let batch_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--batch" ~min:1 ~max:4096)
+        (P.Arch.Machine.default_batch ())
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Campaign: score $(docv) batched noise realizations per query \
+           through the batch engine (default $(b,PROMISE_BATCH) or 1). The \
+           batch width is part of every shard checkpoint digest, so a \
+           resume at a different width is rejected, never mixed. Report: \
+           ignored.")
+
 let seed_arg =
   Arg.(
     value
@@ -367,6 +380,6 @@ let () =
           Term.(
             ret
               (const run $ workload_arg $ quick_arg $ shards_arg $ workers_arg
-             $ seed_arg $ timeout_arg $ liveness_arg $ heartbeat_arg
-             $ max_restarts_arg $ checkpoint_dir_arg $ resume_arg
-             $ incidents_arg $ chaos_arg $ bench_arg))))
+             $ batch_arg $ seed_arg $ timeout_arg $ liveness_arg
+             $ heartbeat_arg $ max_restarts_arg $ checkpoint_dir_arg
+             $ resume_arg $ incidents_arg $ chaos_arg $ bench_arg))))

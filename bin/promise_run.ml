@@ -43,7 +43,8 @@ let lint_benchmark ~format (b : B.t) =
       prerr_endline (P.Analysis.Lint.summary [ report ]));
   P.Analysis.Lint.exit_code [ report ] = 0
 
-let run name swing pm optimize jobs kernel_mode lint no_lint lint_format =
+let run name swing pm optimize jobs kernel_mode batch lint no_lint lint_format
+    =
   match (P.check_env (), List.assoc_opt name benchmarks) with
   | Error e, _ -> `Error (false, P.Error.to_string e)
   | Ok (), None ->
@@ -77,7 +78,9 @@ let run name swing pm optimize jobs kernel_mode lint no_lint lint_format =
       Printf.printf "swings: (%s) [%s]\n"
         (String.concat "," (List.map string_of_int swings))
         label;
-      let e = b.B.evaluate ~pool ~kernel_mode ~swings () in
+      if batch > 1 then
+        Printf.printf "batch: %d decisions per query (batched engine)\n" batch;
+      let e = b.B.evaluate ~pool ~kernel_mode ~batch ~swings () in
       Printf.printf "PROMISE accuracy: %.3f (mismatch %.3f)\n"
         e.B.promise_accuracy e.B.mismatch;
       let energy = Model.total (B.promise_energy b ~swings) in
@@ -144,6 +147,25 @@ let kernel_mode_arg =
            path). The two are bit-identical; reference exists as the \
            differential oracle.")
 
+let batch_conv =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.int_in_range ~what:"--batch" ~min:1 ~max:4096 s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_int )
+
+let batch_arg =
+  Arg.(
+    value
+    & opt batch_conv (P.Arch.Machine.default_batch ())
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Evaluate $(docv) batched noise realizations of every query \
+           through the batch-dimension engine (default \
+           $(b,PROMISE_BATCH) or 1). Batch 1 is bit-identical to the \
+           unbatched evaluation.")
+
 let lint_arg =
   Arg.(
     value & flag
@@ -185,5 +207,5 @@ let () =
           Term.(
             ret
               (const run $ name_arg $ swing_arg $ pm_arg $ optimize_arg
-             $ jobs_arg $ kernel_mode_arg $ lint_arg $ no_lint_arg
+             $ jobs_arg $ kernel_mode_arg $ batch_arg $ lint_arg $ no_lint_arg
              $ lint_format_arg))))

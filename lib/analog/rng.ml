@@ -18,6 +18,8 @@ type t = {
   mutable has_cached : bool;
 }
 
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 let golden_gamma = 0x9E3779B97F4A7C15L
 
 let of_state s =
@@ -180,6 +182,71 @@ let gaussian_fill t dst =
       fill_pairs t dst n 1
     end
     else fill_pairs t dst n 0
+
+(* [fill_pairs] on a float64 bigarray — the batch-noise plane of the
+   batched kernels lives in a bigarray so it can be shared and sliced
+   without the float-array bounds of the minor heap. Same draws, same
+   pair structure, same cache behavior as [fill_pairs]. *)
+let rec fill_pairs_ba t (dst : ba) n i =
+  if i < n then begin
+    let s = Int64.add (Bigarray.Array1.unsafe_get t.state 0) golden_gamma in
+    Bigarray.Array1.unsafe_set t.state 0 s;
+    let z =
+      Int64.mul
+        (Int64.logxor s (Int64.shift_right_logical s 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let u =
+      Int64.to_float (Int64.shift_right_logical z 11)
+      *. (1.0 /. 9007199254740992.0)
+    in
+    let u1 = if u > 1e-300 then u else reject_small t in
+    let s = Int64.add (Bigarray.Array1.unsafe_get t.state 0) golden_gamma in
+    Bigarray.Array1.unsafe_set t.state 0 s;
+    let z =
+      Int64.mul
+        (Int64.logxor s (Int64.shift_right_logical s 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let u2 =
+      Int64.to_float (Int64.shift_right_logical z 11)
+      *. (1.0 /. 9007199254740992.0)
+    in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    Bigarray.Array1.unsafe_set dst i (r *. cos theta);
+    if i + 1 < n then begin
+      Bigarray.Array1.unsafe_set dst (i + 1) (r *. sin theta);
+      fill_pairs_ba t dst n (i + 2)
+    end
+    else begin
+      t.cached.(0) <- r *. sin theta;
+      t.has_cached <- true
+    end
+  end
+
+let gaussian_fill_ba t dst ~len =
+  if len < 0 || len > Bigarray.Array1.dim dst then
+    invalid_arg "Rng.gaussian_fill_ba: len out of range";
+  if len > 0 then
+    if t.has_cached then begin
+      t.has_cached <- false;
+      Bigarray.Array1.unsafe_set dst 0 t.cached.(0);
+      fill_pairs_ba t dst len 1
+    end
+    else fill_pairs_ba t dst len 0
 
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

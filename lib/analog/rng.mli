@@ -46,5 +46,18 @@ val gaussian_scaled : t -> mu:float -> sigma:float -> float
     draw. *)
 val gaussian_fill : t -> float array -> unit
 
+(** A float64 bigarray vector — the batched kernels' noise plane. *)
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [gaussian_fill_ba t dst ~len] fills [dst.{0..len-1}] with standard
+    normals, consuming the stream exactly as [len] successive
+    {!gaussian} calls (or any composition of {!gaussian_fill} calls
+    totalling [len] draws) would — same values, same final cache
+    state. The batch execution engine draws the noise for a whole
+    batch of decisions through one call, into a bigarray plane that
+    outlives the minor heap. Raises [Invalid_argument] when [len]
+    exceeds [dst]'s length. *)
+val gaussian_fill_ba : t -> ba -> len:int -> unit
+
 (** [shuffle t arr] — in-place Fisher-Yates shuffle. *)
 val shuffle : t -> 'a array -> unit

@@ -78,6 +78,21 @@ type fused = {
   out1 : float array;  (* [0] = sample, for the [step] wrapper *)
 }
 
+(* Per-kernel batch scratch (lazy): the structure-of-arrays working set
+   of [sample_batch_into]. [wt]/[st]/[xt] are per-(iteration × lane)
+   tables hoisted once per batch call — the aREAD transfer value, its
+   noise sigma and the normalized X operand are all invariant across
+   the decisions of a batch (no cross-decision state feedback on the
+   batched path) — and [nplane] is the bigarray noise plane one
+   [Rng.gaussian_fill_ba] call fills per tile of decisions. *)
+type bstate = {
+  mutable nplane : A.Rng.ba;
+  mutable wt : float array;  (* shaped value per (iteration, lane) *)
+  mutable st : float array;  (* noise sigma per (iteration, lane) *)
+  mutable xt : float array;  (* normalized X per (iteration, lane) *)
+  mutable table_iters : int;  (* iterations the tables have room for *)
+}
+
 type impl = Fused of fused | Passthrough
 
 type t = {
@@ -85,9 +100,15 @@ type t = {
   bank : Bank.t;
   flip_stream : A.Rng.t option;  (* object captured at specialization *)
   impl : impl;
+  bstate : bstate;
 }
 
 let is_fused t = match t.impl with Fused _ -> true | Passthrough -> false
+
+let empty_ba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+
+let fresh_bstate () =
+  { nplane = empty_ba; wt = [||]; st = [||]; xt = [||]; table_iters = 0 }
 
 let specialize ?lane_mask bank ~(task : Task.t) ~active_lanes ~adc_gain =
   if active_lanes < 1 || active_lanes > Params.lanes then
@@ -102,7 +123,8 @@ let specialize ?lane_mask bank ~(task : Task.t) ~active_lanes ~adc_gain =
     | Opcode.C1_none | Opcode.C1_write | Opcode.C1_read -> false)
     && task.class2.Opcode.avd && Task.uses_adc task
   in
-  if not fusable then { spec; bank; flip_stream; impl = Passthrough }
+  if not fusable then
+    { spec; bank; flip_stream; impl = Passthrough; bstate = fresh_bstate () }
   else begin
     let p = task.op_param in
     let profile = Bank.profile bank in
@@ -218,6 +240,7 @@ let specialize ?lane_mask bank ~(task : Task.t) ~active_lanes ~adc_gain =
       spec;
       bank;
       flip_stream;
+      bstate = fresh_bstate ();
       impl =
         Fused
           {
@@ -501,3 +524,334 @@ let step t ~iteration =
   | Fused f ->
       sample_into t ~iteration ~dst:f.out1 ~at:0;
       Bank.Sample f.out1.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Batched sampling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [sample_batch_into] processes a whole batch of decisions in one
+   pass.  BIT-IDENTITY: the samples written are exactly what [batch]
+   back-to-back [sample_into] sweeps (iteration 0..k per decision,
+   decision-major) would produce, because
+
+   - the bank's noise stream is consumed decision-major and contiguously
+     either way: the sequential path draws one 128-lane vector per
+     iteration, so N sequential decisions consume N·iters·128 draws in
+     (decision, iteration, lane) order — exactly the order one
+     [Rng.gaussian_fill_ba] call lays the batched noise plane out in
+     (128-lane vectors are even, so the Box-Muller cache is empty at
+     every decision boundary and fills compose);
+   - the hoisted per-(iteration × lane) tables hold the same float
+     values the scalar path recomputes per decision ([wt] the
+     pre-sampled aREAD value with the stuck/dead override folded in as
+     (wt, st=0) — override_val +. 0.0·g ≡ override_val for every real
+     g — [st] the per-code sigma, [xt] the normalized X), and every
+     arithmetic step below applies the scalar path's operations in the
+     scalar path's order;
+   - transient X-REG upsets draw a data-dependent number of variates,
+     so a kernel with a flip stream takes the decision-major scalar
+     replay below instead of the table path — same draws, same order,
+     still one call.
+
+   The differential QCheck suite (test_batch) holds this function
+   ≡ N× sample_into ≡ N× the scalar Reference path over random tasks,
+   profiles, faults, masks and batch sizes. *)
+
+(* Max floats in the noise plane tile (128 KiB): big enough to amortize
+   the fill-call overhead, small enough to stay cache-resident. *)
+let tile_floats = 16384
+
+let prepare_tables (f : fused) (b : bstate) ~iters ~uses_x =
+  let lanes = Params.lanes in
+  if b.table_iters < iters then begin
+    b.wt <- Array.make (iters * lanes) 0.0;
+    b.st <- Array.make (iters * lanes) 0.0;
+    b.xt <- Array.make (iters * lanes) 0.0;
+    b.table_iters <- iters
+  end;
+  for i = 0 to iters - 1 do
+    let row =
+      Bitcell_array.row_unsafe f.array
+        ~word_row:((f.w_addr + i) mod Params.word_rows)
+    in
+    let base = i * lanes in
+    for lane = 0 to lanes - 1 do
+      if f.override_any && Array.unsafe_get f.override_on lane then begin
+        (* fold the post-noise stuck/dead override into the tables:
+           v +. 0.0 *. g is bitwise v for every finite g *)
+        Array.unsafe_set b.wt (base + lane)
+          (Array.unsafe_get f.override_val lane);
+        Array.unsafe_set b.st (base + lane) 0.0
+      end
+      else begin
+        let idx = Array.unsafe_get row lane + 128 in
+        Array.unsafe_set b.wt (base + lane) (Array.unsafe_get f.shaped idx);
+        Array.unsafe_set b.st (base + lane) (Array.unsafe_get f.sigma idx)
+      end
+    done;
+    if uses_x then begin
+      let xrow =
+        Xreg.row_unsafe f.xreg ~index:((f.x_base + i) mod f.x_period)
+      in
+      for lane = 0 to lanes - 1 do
+        Array.unsafe_set b.xt (base + lane)
+          (float_of_int (Array.unsafe_get xrow lane) /. 128.0)
+      done
+    end
+  done
+
+let sample_batch_into t ~batch ~(dst : A.Rng.ba) ~off =
+  if batch < 1 then invalid_arg "Kernel.sample_batch_into: batch must be >= 1";
+  match t.impl with
+  | Passthrough -> invalid_arg "Kernel.sample_batch_into: kernel is not fused"
+  | Fused f -> (
+      let iters = Task.iterations t.spec.task in
+      if off < 0 || off + (batch * iters) > Bigarray.Array1.dim dst then
+        invalid_arg "Kernel.sample_batch_into: dst slice out of range";
+      match f.flip_rng with
+      | Some _ ->
+          (* transient upsets: data-dependent draw counts — scalar
+             fused replay, decision-major (bit-identical by
+             construction: it IS the sequential path) *)
+          for d = 0 to batch - 1 do
+            for i = 0 to iters - 1 do
+              sample_into t ~iteration:i ~dst:f.out1 ~at:0;
+              dst.{off + (d * iters) + i} <- f.out1.(0)
+            done
+          done
+      | None ->
+          let lanes = Params.lanes in
+          let b = t.bstate in
+          let uses_x =
+            match (f.c1, f.asd) with
+            | (K_asubt | K_aadd), _ -> true
+            | K_aread, (S_sign_mult | S_unsign_mult) -> true
+            | K_aread, _ -> false
+          in
+          prepare_tables f b ~iters ~uses_x;
+          let noisy = match f.noise_rng with Some _ -> true | None -> false in
+          let per_dec = iters * lanes in
+          let tile_d =
+            if not noisy then batch else max 1 (tile_floats / per_dec)
+          in
+          let plane_len = min batch tile_d * per_dec in
+          if noisy && Bigarray.Array1.dim b.nplane < plane_len then
+            b.nplane <-
+              Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+                plane_len;
+          let wt = b.wt and st = b.st and xt = b.xt in
+          let np = b.nplane in
+          let e = f.asd_tbl in
+          let en1 = Array.length e - 1 in
+          let fen1 = float_of_int en1 in
+          let wbuf = f.wbuf and sbuf = f.sbuf in
+          let d = ref 0 in
+          while !d < batch do
+            let td = min tile_d (batch - !d) in
+            (match f.noise_rng with
+            | Some rng -> A.Rng.gaussian_fill_ba rng np ~len:(td * per_dec)
+            | None -> ());
+            for dr = 0 to td - 1 do
+              let dec = !d + dr in
+              for i = 0 to iters - 1 do
+                let tb = i * lanes in
+                let gb = dr * per_dec + tb in
+                (* pass 1 — class-1 value per lane (the scalar chain:
+                   noise-apply, override [folded into the tables],
+                   X-combine, idle leakage) *)
+                (match f.c1 with
+                | K_aread ->
+                    if noisy then
+                      if f.has_leak then
+                        for lane = 0 to lanes - 1 do
+                          Array.unsafe_set wbuf lane
+                            ((Array.unsafe_get wt (tb + lane)
+                             +. Array.unsafe_get st (tb + lane)
+                                *. np.{gb + lane})
+                            *. f.leak)
+                        done
+                      else
+                        for lane = 0 to lanes - 1 do
+                          Array.unsafe_set wbuf lane
+                            (Array.unsafe_get wt (tb + lane)
+                            +. Array.unsafe_get st (tb + lane)
+                               *. np.{gb + lane})
+                        done
+                    else if f.has_leak then
+                      for lane = 0 to lanes - 1 do
+                        Array.unsafe_set wbuf lane
+                          (Array.unsafe_get wt (tb + lane) *. f.leak)
+                      done
+                    else
+                      for lane = 0 to lanes - 1 do
+                        Array.unsafe_set wbuf lane
+                          (Array.unsafe_get wt (tb + lane))
+                      done
+                | K_asubt ->
+                    for lane = 0 to lanes - 1 do
+                      let w =
+                        if noisy then
+                          Array.unsafe_get wt (tb + lane)
+                          +. Array.unsafe_get st (tb + lane) *. np.{gb + lane}
+                        else Array.unsafe_get wt (tb + lane)
+                      in
+                      let v = (w -. Array.unsafe_get xt (tb + lane)) /. 2.0 in
+                      Array.unsafe_set wbuf lane
+                        (if f.has_leak then v *. f.leak else v)
+                    done
+                | K_aadd ->
+                    for lane = 0 to lanes - 1 do
+                      let w =
+                        if noisy then
+                          Array.unsafe_get wt (tb + lane)
+                          +. Array.unsafe_get st (tb + lane) *. np.{gb + lane}
+                        else Array.unsafe_get wt (tb + lane)
+                      in
+                      let v = (w +. Array.unsafe_get xt (tb + lane)) /. 2.0 in
+                      Array.unsafe_set wbuf lane
+                        (if f.has_leak then v *. f.leak else v)
+                    done);
+                (* pass 2 — aSD + charge share, the scalar loops with X
+                   read from the hoisted table *)
+                Array.unsafe_set sbuf 0 0.0;
+                (match f.asd with
+                | S_none ->
+                    for lane = 0 to lanes - 1 do
+                      if Array.unsafe_get f.acc_on lane then
+                        Array.unsafe_set sbuf 0
+                          (Array.unsafe_get sbuf 0
+                          +. Array.unsafe_get wbuf lane)
+                    done
+                | S_compare ->
+                    for lane = 0 to lanes - 1 do
+                      if Array.unsafe_get f.acc_on lane then begin
+                        let v = Array.unsafe_get wbuf lane in
+                        let v =
+                          if v < -1.0 then -1.0
+                          else if v > 1.0 then 1.0
+                          else v
+                        in
+                        let pos = (v +. 1.0) /. 2.0 *. fen1 in
+                        let i0 = int_of_float (Float.floor pos) in
+                        let u =
+                          if i0 >= en1 then Array.unsafe_get e en1
+                          else
+                            let frac = pos -. float_of_int i0 in
+                            ((1.0 -. frac) *. Array.unsafe_get e i0)
+                            +. (frac *. Array.unsafe_get e (i0 + 1))
+                        in
+                        let s = if u >= 0.0 then 1.0 else 0.0 in
+                        Array.unsafe_set sbuf 0 (Array.unsafe_get sbuf 0 +. s)
+                      end
+                    done
+                | S_absolute ->
+                    for lane = 0 to lanes - 1 do
+                      if Array.unsafe_get f.acc_on lane then begin
+                        let v = Array.unsafe_get wbuf lane in
+                        let v =
+                          if v < -1.0 then -1.0
+                          else if v > 1.0 then 1.0
+                          else v
+                        in
+                        let pos = (v +. 1.0) /. 2.0 *. fen1 in
+                        let i0 = int_of_float (Float.floor pos) in
+                        let u =
+                          if i0 >= en1 then Array.unsafe_get e en1
+                          else
+                            let frac = pos -. float_of_int i0 in
+                            ((1.0 -. frac) *. Array.unsafe_get e i0)
+                            +. (frac *. Array.unsafe_get e (i0 + 1))
+                        in
+                        Array.unsafe_set sbuf 0
+                          (Array.unsafe_get sbuf 0 +. Float.abs u)
+                      end
+                    done
+                | S_square ->
+                    for lane = 0 to lanes - 1 do
+                      if Array.unsafe_get f.acc_on lane then begin
+                        let v = Array.unsafe_get wbuf lane in
+                        let v =
+                          if v < -1.0 then -1.0
+                          else if v > 1.0 then 1.0
+                          else v
+                        in
+                        let pos = (v +. 1.0) /. 2.0 *. fen1 in
+                        let i0 = int_of_float (Float.floor pos) in
+                        let u =
+                          if i0 >= en1 then Array.unsafe_get e en1
+                          else
+                            let frac = pos -. float_of_int i0 in
+                            ((1.0 -. frac) *. Array.unsafe_get e i0)
+                            +. (frac *. Array.unsafe_get e (i0 + 1))
+                        in
+                        Array.unsafe_set sbuf 0
+                          (Array.unsafe_get sbuf 0 +. (u *. u))
+                      end
+                    done
+                | S_sign_mult ->
+                    for lane = 0 to lanes - 1 do
+                      if Array.unsafe_get f.acc_on lane then begin
+                        let v =
+                          Array.unsafe_get wbuf lane
+                          *. Array.unsafe_get xt (tb + lane)
+                        in
+                        let v =
+                          if v < -1.0 then -1.0
+                          else if v > 1.0 then 1.0
+                          else v
+                        in
+                        let pos = (v +. 1.0) /. 2.0 *. fen1 in
+                        let i0 = int_of_float (Float.floor pos) in
+                        let u =
+                          if i0 >= en1 then Array.unsafe_get e en1
+                          else
+                            let frac = pos -. float_of_int i0 in
+                            ((1.0 -. frac) *. Array.unsafe_get e i0)
+                            +. (frac *. Array.unsafe_get e (i0 + 1))
+                        in
+                        Array.unsafe_set sbuf 0 (Array.unsafe_get sbuf 0 +. u)
+                      end
+                    done
+                | S_unsign_mult ->
+                    for lane = 0 to lanes - 1 do
+                      if Array.unsafe_get f.acc_on lane then begin
+                        let v =
+                          Float.abs (Array.unsafe_get wbuf lane)
+                          *. Float.abs (Array.unsafe_get xt (tb + lane))
+                        in
+                        let v =
+                          if v < -1.0 then -1.0
+                          else if v > 1.0 then 1.0
+                          else v
+                        in
+                        let pos = (v +. 1.0) /. 2.0 *. fen1 in
+                        let i0 = int_of_float (Float.floor pos) in
+                        let u =
+                          if i0 >= en1 then Array.unsafe_get e en1
+                          else
+                            let frac = pos -. float_of_int i0 in
+                            ((1.0 -. frac) *. Array.unsafe_get e i0)
+                            +. (frac *. Array.unsafe_get e (i0 + 1))
+                        in
+                        Array.unsafe_set sbuf 0 (Array.unsafe_get sbuf 0 +. u)
+                      end
+                    done);
+                let cs =
+                  if f.acc_empty then 0.0
+                  else Array.unsafe_get sbuf 0 /. f.divisor
+                in
+                let analog = (f.adc_gain *. cs) +. f.adc_offset in
+                let lsb = A.Adc.lsb in
+                let half = A.Adc.levels / 2 in
+                let code = int_of_float (Float.round (analog /. lsb)) + half in
+                let code =
+                  if code < 0 then 0
+                  else if code > A.Adc.levels - 1 then A.Adc.levels - 1
+                  else code
+                in
+                dst.{off + (dec * iters) + i} <-
+                  float_of_int (code - half) *. lsb /. f.adc_gain
+              done
+            done;
+            d := !d + td
+          done)

@@ -71,3 +71,29 @@ val sample_into : t -> iteration:int -> dst:float array -> at:int -> unit
     kernels wrap {!sample_into}; passthrough kernels delegate to
     {!Bank.run_iteration}. *)
 val step : t -> iteration:int -> Bank.step
+
+(** [sample_batch_into t ~batch ~dst ~off] — run [batch] whole
+    decisions through the fused kernel in one pass, storing the sample
+    of decision [d], iteration [i] into [dst.{off + d*iterations + i}].
+
+    Bit-identity: the samples (and the final RNG stream states) are
+    exactly what [batch] back-to-back per-decision sweeps of
+    {!sample_into} would produce. The batched path draws the noise for
+    a whole tile of decisions through one
+    {!Promise_analog.Rng.gaussian_fill_ba} call — bit-identical because
+    the sequential path consumes the stream in the same
+    (decision, iteration, lane) order and 128-lane vectors leave the
+    Box-Muller cache empty at every decision boundary — and reads the
+    per-(iteration × lane) invariants (aREAD value with stuck/dead
+    overrides folded in, noise sigma, normalized X) from
+    structure-of-arrays tables hoisted once per call. Kernels with a
+    transient-upset stream draw a data-dependent number of variates per
+    load and therefore take a decision-major scalar replay inside the
+    same call. Zero minor-heap allocations per decision in the steady
+    state (the tables and noise plane are grown once and reused).
+
+    Raises [Invalid_argument] if the kernel is not fused, [batch < 1],
+    or the [dst] slice [off .. off + batch*iterations - 1] is out of
+    range. *)
+val sample_batch_into :
+  t -> batch:int -> dst:Promise_analog.Rng.ba -> off:int -> unit

@@ -20,6 +20,12 @@ type t = {
      by [Kernel.matches] on every execute (replay workloads re-launch
      the same task, so specialization amortizes to zero) *)
   kernel_cache : Kernel.t option array;
+  (* batch execution scratch: the per-bank sample plane (grown once,
+     reused) and a tiny float-array slot set the zero-allocation
+     reduction loops accumulate in (a [float ref] would box per
+     store) *)
+  mutable bplane : A.Rng.ba;
+  bacc : float array;
 }
 
 type kernel_mode = Fused | Reference
@@ -34,6 +40,22 @@ let env_kernel_mode =
         | _ -> Fused))
 
 let default_kernel_mode () = Lazy.force env_kernel_mode
+
+(* PROMISE_BATCH feeds CLI/benchmark defaults only — it never changes
+   what [execute] or the compiler runtime does for a plain call, so a
+   run at PROMISE_BATCH=16 reproduces the batch=1 numbers wherever the
+   caller didn't opt in. [Promise.check_env] validates the variable
+   loudly at CLI startup; this lazy parse falls back to 1 on anything
+   invalid rather than raising from deep inside the machine. *)
+let env_batch =
+  lazy
+    (match
+       Promise_core.Validate.env_int ~name:"PROMISE_BATCH" ~min:1 ~max:4096
+     with
+    | Ok (Some n) -> n
+    | Ok None | Error _ -> 1)
+
+let default_batch () = Lazy.force env_batch
 
 let create (config : config) =
   if config.banks < 1 || config.banks > 64 then
@@ -56,6 +78,8 @@ let create (config : config) =
     banks = Array.init config.banks make_bank;
     trace = Trace.create ();
     kernel_cache = Array.make config.banks None;
+    bplane = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0;
+    bacc = Array.make 4 0.0;
   }
 
 let config t = t.config
@@ -178,11 +202,36 @@ end
 (* A multi-bank task may fan its banks out across a pool only when the
    emit destination never feeds back into bank state mid-task: X-REG
    and write-buffer emits are staged into the banks while iterations
-   are still running, so those tasks stay on the sequential path. *)
+   are still running, so those tasks stay on the sequential path. The
+   same property gates the batched fast path — it is what makes the
+   per-bank sample stream independent of decision order. *)
 let cross_bank_safe launch =
   match launch.th.Th_unit.des with
   | Opcode.Des_output_buffer | Opcode.Des_acc -> true
   | Opcode.Des_xreg | Opcode.Des_write_buffer -> false
+
+(* One compiled kernel per bank of the group, revalidated against the
+   per-bank cache (same bank + task + launch shape + faults → reuse, so
+   replay workloads pay specialization once). *)
+let cached_kernels ?lane_mask t launch banks =
+  let task = launch.task in
+  let first = launch.bank_group * Task.banks task in
+  Array.mapi
+    (fun bi b ->
+      let slot = first + bi in
+      match t.kernel_cache.(slot) with
+      | Some k
+        when Kernel.matches k b ~task ~active_lanes:launch.active_lanes
+               ~adc_gain:launch.adc_gain ~lane_mask ->
+          k
+      | Some _ | None ->
+          let k =
+            Kernel.specialize ?lane_mask b ~task
+              ~active_lanes:launch.active_lanes ~adc_gain:launch.adc_gain
+          in
+          t.kernel_cache.(slot) <- Some k;
+          k)
+    banks
 
 let execute ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t launch =
   let ( let* ) = Result.bind in
@@ -215,33 +264,10 @@ let execute ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t launch =
   let digital = ref [] in
   let adc_conversions = ref 0 in
   let iterations = Task.iterations task in
-  (* Fused mode: one compiled kernel per bank of the group, revalidated
-     against the per-bank cache (same bank + task + launch shape +
-     faults → reuse, so replay workloads pay specialization once). *)
   let kernels =
     match kernel_mode with
     | Reference -> None
-    | Fused ->
-        let first = launch.bank_group * Task.banks task in
-        Some
-          (Array.mapi
-             (fun bi b ->
-               let slot = first + bi in
-               match t.kernel_cache.(slot) with
-               | Some k
-                 when Kernel.matches k b ~task
-                        ~active_lanes:launch.active_lanes
-                        ~adc_gain:launch.adc_gain ~lane_mask ->
-                   k
-               | Some _ | None ->
-                   let k =
-                     Kernel.specialize ?lane_mask b ~task
-                       ~active_lanes:launch.active_lanes
-                       ~adc_gain:launch.adc_gain
-                   in
-                   t.kernel_cache.(slot) <- Some k;
-                   k)
-             banks)
+    | Fused -> Some (cached_kernels ?lane_mask t launch banks)
   in
   let step_bank bi b ~iteration =
     match kernels with
@@ -384,6 +410,338 @@ let default_launch (task : Task.t) =
 
 let run_program ?pool ?kernel_mode t (program : Program.t) =
   run ?pool ?kernel_mode t (List.map default_launch program.Program.tasks)
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let batch_plane t ~need =
+  if Bigarray.Array1.dim t.bplane < need then
+    t.bplane <- Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout need;
+  t.bplane
+
+let invalid_batch batch =
+  E.fail ~layer:"machine" ~code:E.Invalid_operand
+    ~context:[ ("batch", string_of_int batch) ]
+    "batch must be >= 1"
+
+(* Shared entry validation + fast-path eligibility for the batched
+   APIs. [Ok (banks, avail_adc, Some kernels)] means the decision-major
+   fast path applies: fused kernels on every bank of the group, an emit
+   destination with no mid-task bank-state feedback, and at least one
+   iteration. *)
+let batch_setup ?lane_mask ?kernel_mode t launch =
+  let ( let* ) = Result.bind in
+  let task = launch.task in
+  let kernel_mode =
+    match kernel_mode with Some m -> m | None -> default_kernel_mode ()
+  in
+  let* () =
+    match Task.validate task with
+    | Ok _ -> Ok ()
+    | Error d -> Error (Promise_core.Diag.to_error ~layer:"machine" d)
+  in
+  let* banks = group_banks t launch in
+  let* avail_adc =
+    let avail =
+      Array.fold_left
+        (fun acc b -> min acc (Faults.adc_units_available (Bank.faults b)))
+        A.Adc.units_per_bank banks
+    in
+    if Task.uses_adc task && avail < 1 then
+      E.fail ~layer:"machine" ~code:E.Fault
+        ~context:[ ("group", string_of_int launch.bank_group) ]
+        "all ADC units of the bank group are dead"
+    else Ok avail
+  in
+  let kernels =
+    match kernel_mode with
+    | Reference -> None
+    | Fused ->
+        if cross_bank_safe launch && Task.iterations task > 0 then
+          let ks = cached_kernels ?lane_mask t launch banks in
+          if Array.for_all Kernel.is_fused ks then Some ks else None
+        else None
+  in
+  Ok (banks, avail_adc, kernels)
+
+(* Fill the bank-major sample plane: bank [bi]'s samples for the whole
+   batch live at [bi*batch*iters + d*iters + i]. Bank-major order keeps
+   each bank's private RNG streams consumed exactly as sequential
+   execution would (banks never read each other's state), and lets a
+   pool fan the banks out with one synchronization per batch instead of
+   one per task. *)
+let fill_batch_plane ~pool ~kernels ~(plane : A.Rng.ba) ~batch ~iters =
+  let n = Array.length kernels in
+  let per = batch * iters in
+  if Pool.is_parallel pool && n > 1 then
+    ignore
+      (Pool.map_array pool
+         (fun bi ->
+           Kernel.sample_batch_into kernels.(bi) ~batch ~dst:plane
+             ~off:(bi * per))
+         (Array.init n (fun i -> i)))
+  else
+    for bi = 0 to n - 1 do
+      Kernel.sample_batch_into kernels.(bi) ~batch ~dst:plane ~off:(bi * per)
+    done
+
+let execute_batch ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t launch
+    ~batch =
+  if batch < 1 then invalid_batch batch
+  else
+    let sequential () =
+      let rec go acc d =
+        if d = batch then Ok (Array.of_list (List.rev acc))
+        else
+          match execute ?lane_mask ~pool ?kernel_mode t launch with
+          | Ok r -> go (r :: acc) (d + 1)
+          | Error e -> Error e
+      in
+      go [] 0
+    in
+    match batch_setup ?lane_mask ?kernel_mode t launch with
+    | Error e -> Error e
+    | Ok (_, _, None) -> sequential ()
+    | Ok (banks, avail_adc, Some kernels) ->
+        let task = launch.task in
+        let iters = Task.iterations task in
+        let n = Array.length banks in
+        let per = batch * iters in
+        let plane = batch_plane t ~need:(n * per) in
+        fill_batch_plane ~pool ~kernels ~plane ~batch ~iters;
+        let stall_cycles =
+          if Task.uses_adc task then excess_adc_stalls task ~avail:avail_adc
+          else 0
+        in
+        (* per-decision reduction: exactly the sequential fused fast
+           loop of [execute], reading samples from the plane — same
+           Crossbank combine, same TH, same per-decision trace record *)
+        let partials = Array.make n 0.0 in
+        let results =
+          Array.init batch (fun d ->
+              let th = Th_unit.create launch.th in
+              let emitted = ref [] and acc_out = ref [] and wbuf = ref [] in
+              let xreg_out = ref [] in
+              for i = 0 to iters - 1 do
+                for bi = 0 to n - 1 do
+                  partials.(bi) <- plane.{(bi * per) + (d * iters) + i}
+                done;
+                let combined = Crossbank.combine partials in
+                match Th_unit.push th combined with
+                | Some emit ->
+                    route_emit banks launch emit ~emitted ~acc_out ~xreg_out
+                      ~wbuf
+                | None -> ()
+              done;
+              (match Th_unit.finish th with
+              | Some emit ->
+                  route_emit banks launch emit ~emitted ~acc_out ~xreg_out
+                    ~wbuf
+              | None -> ());
+              let record =
+                {
+                  Trace.task;
+                  iterations = iters;
+                  banks = n;
+                  tp = Timing.task_tp task;
+                  fill_cycles = Timing.fill_cycles task;
+                  cycles = Timing.task_cycles task + stall_cycles;
+                  adc_conversions = iters;
+                  crossbank_transfers =
+                    Crossbank.transfers_per_iteration ~banks:n * iters;
+                  th_ops = Th_unit.ops_executed th;
+                  stall_cycles;
+                }
+              in
+              Trace.record t.trace record;
+              {
+                emitted = List.rev !emitted;
+                acc_out = List.rev !acc_out;
+                xreg_out = List.rev !xreg_out;
+                write_buffer = List.rev !wbuf;
+                argext = Th_unit.argext th;
+                digital = [];
+                record;
+              })
+        in
+        Ok results
+
+(* Emissions per decision on the batched serving path: every op except
+   max/min emits once per TH group (the final partial group included,
+   flushed by [Th_unit.finish]); max/min emit their extremum exactly
+   once at finish. *)
+let emissions_per_decision (task : Task.t) ~(th : Th_unit.config) =
+  let iters = Task.iterations task in
+  let groups = (iters + th.Th_unit.acc_num) / (th.Th_unit.acc_num + 1) in
+  match th.Th_unit.op with
+  | Opcode.C4_max | Opcode.C4_min -> 1
+  | _ -> groups
+
+let execute_batch_into ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t
+    launch ~batch ~(out : A.Rng.ba) =
+  if batch < 1 then invalid_batch batch
+  else
+    match batch_setup ?lane_mask ?kernel_mode t launch with
+    | Error e -> Error e
+    | Ok (_, _, None) ->
+        E.fail ~layer:"machine" ~code:E.Unsupported
+          ~context:
+            [ ("des", "xreg/write_buffer feedback, reference mode, or \
+                       non-fused task shape") ]
+          "execute_batch_into requires the batched fused fast path"
+    | Ok (banks, avail_adc, Some kernels) ->
+        let task = launch.task in
+        let iters = Task.iterations task in
+        let thc = launch.th in
+        let epd = emissions_per_decision task ~th:thc in
+        if Bigarray.Array1.dim out < batch * epd then
+          E.fail ~layer:"machine" ~code:E.Invalid_operand
+            ~context:
+              [
+                ("out", string_of_int (Bigarray.Array1.dim out));
+                ("needed", string_of_int (batch * epd));
+              ]
+            "output buffer too small for batch"
+        else begin
+          let n = Array.length banks in
+          let per = batch * iters in
+          let plane = batch_plane t ~need:(n * per) in
+          fill_batch_plane ~pool ~kernels ~plane ~batch ~iters;
+          let stalls =
+            if Task.uses_adc task then excess_adc_stalls task ~avail:avail_adc
+            else 0
+          in
+          (* TH inlined for the zero-allocation loop: [Th_unit.push]'s
+             state lives in a mixed record whose float stores box, and
+             its emits are [Some {record}] — both allocate per group.
+             The arithmetic below is [Th_unit]'s own, operation for
+             operation, and the differential suite (test_batch) holds
+             this path bitwise equal to [execute] + [Th_unit] over
+             random tasks; any TH change must keep it green. Scratch:
+             [bacc.(0)] the cross-bank combine, [bacc.(1)] the TH group
+             accumulator, [bacc.(2)] the running extremum, [bacc.(3)]
+             the group value handed to [apply_group] — passed through
+             the float array rather than as an argument because a float
+             argument to a local closure is boxed on every call (one
+             box per TH group defeats the zero-allocation property). *)
+          let op = thc.Th_unit.op in
+          let acc_num = thc.Th_unit.acc_num in
+          let gain = thc.Th_unit.gain in
+          let threshold = thc.Th_unit.threshold in
+          let acc_n1f = float_of_int (acc_num + 1) in
+          let bacc = t.bacc in
+          let gcount = ref 0 in
+          let emit_at = ref 0 in
+          let ext_set = ref false in
+          let apply_group () =
+            let value = bacc.(3) in
+            match op with
+            | Opcode.C4_accumulate ->
+                out.{!emit_at} <- value;
+                incr emit_at
+            | Opcode.C4_mean ->
+                out.{!emit_at} <- value /. acc_n1f;
+                incr emit_at
+            | Opcode.C4_threshold ->
+                out.{!emit_at} <- (if value > threshold then 1.0 else 0.0);
+                incr emit_at
+            | Opcode.C4_sigmoid ->
+                out.{!emit_at} <- Th_unit.pwl_sigmoid value;
+                incr emit_at
+            | Opcode.C4_relu ->
+                out.{!emit_at} <- Th_unit.relu value;
+                incr emit_at
+            | Opcode.C4_max ->
+                if (not !ext_set) || value > bacc.(2) then begin
+                  bacc.(2) <- value;
+                  ext_set := true
+                end
+            | Opcode.C4_min ->
+                if (not !ext_set) || value < bacc.(2) then begin
+                  bacc.(2) <- value;
+                  ext_set := true
+                end
+          in
+          for d = 0 to batch - 1 do
+            bacc.(1) <- 0.0;
+            gcount := 0;
+            ext_set := false;
+            for i = 0 to iters - 1 do
+              bacc.(0) <- 0.0;
+              for bi = 0 to n - 1 do
+                bacc.(0) <- bacc.(0) +. plane.{(bi * per) + (d * iters) + i}
+              done;
+              bacc.(1) <- bacc.(1) +. (gain *. bacc.(0));
+              incr gcount;
+              if !gcount = acc_num + 1 then begin
+                bacc.(3) <- bacc.(1);
+                bacc.(1) <- 0.0;
+                gcount := 0;
+                apply_group ()
+              end
+            done;
+            if !gcount > 0 then begin
+              bacc.(3) <- bacc.(1);
+              bacc.(1) <- 0.0;
+              gcount := 0;
+              apply_group ()
+            end;
+            (match op with
+            | Opcode.C4_max | Opcode.C4_min ->
+                out.{!emit_at} <- bacc.(2);
+                incr emit_at
+            | _ -> ())
+          done;
+          (* one trace record for the whole batch, with the pipelined
+             timing model: the pipeline never drains between decisions
+             of the same task shape, so each decision after the first
+             adds [iterations × TP] cycles (TP = max stage delay), plus
+             its own degraded-ADC stalls *)
+          let tp = Timing.task_tp task in
+          let record =
+            {
+              Trace.task;
+              iterations = batch * iters;
+              banks = n;
+              tp;
+              fill_cycles = Timing.fill_cycles task;
+              cycles =
+                Timing.task_cycles task
+                + ((batch - 1) * iters * tp)
+                + (batch * stalls);
+              adc_conversions = batch * iters;
+              crossbank_transfers =
+                Crossbank.transfers_per_iteration ~banks:n * iters * batch;
+              th_ops =
+                batch * ((iters + acc_num) / (acc_num + 1));
+              stall_cycles = batch * stalls;
+            }
+          in
+          Trace.record t.trace record;
+          Ok epd
+        end
+
+let run_program_batch ?pool ?kernel_mode t (program : Program.t) ~batch =
+  if batch < 1 then invalid_batch batch
+  else
+    match program.Program.tasks with
+    | [ task ] ->
+        Result.map
+          (Array.map (fun r -> [ r ]))
+          (execute_batch ?pool ?kernel_mode t (default_launch task) ~batch)
+    | _ ->
+        (* multi-task programs may feed bank state forward between
+           tasks (X-REG / write-buffer destinations), so decisions
+           replay sequentially — the general correct path *)
+        let rec go acc d =
+          if d = batch then Ok (Array.of_list (List.rev acc))
+          else
+            match run_program ?pool ?kernel_mode t program with
+            | Ok rs -> go (rs :: acc) (d + 1)
+            | Error e -> Error e
+        in
+        go [] 0
 
 (* Scatter a dense logical slice onto the physical lanes named by
    [lane_map] (lane sparing); identity when no map. *)

@@ -127,6 +127,91 @@ val run_program :
   Promise_isa.Program.t ->
   (result list, Promise_core.Error.t) Stdlib.result
 
+(** {2 Batched execution}
+
+    The batch engine runs N decisions of one launch in a single pass:
+    each bank of the group samples its whole batch through
+    {!Kernel.sample_batch_into} into a bank-major structure-of-arrays
+    plane (noise for the whole batch drawn in one
+    {!Promise_analog.Rng.gaussian_fill_ba} per tile), then the
+    cross-bank rail and TH reduce the plane decision by decision.
+    Bit-identity contract: for every launch and every [batch], the
+    results — values, RNG stream states, per-decision trace records —
+    are exactly those of [batch] back-to-back {!execute} calls. The
+    differential QCheck suite (test_batch) enforces this against both
+    the fused and the scalar [Reference] paths. *)
+
+(** The session's default batch width: [PROMISE_BATCH] when it parses
+    as an integer in [1, 4096], else 1. Read once, lazily. The variable
+    feeds CLI and benchmark defaults only — plain {!execute}/compiler
+    runs never batch implicitly, so accuracy results are independent of
+    it. [Promise.check_env] validates it loudly at startup. *)
+val default_batch : unit -> int
+
+(** [execute_batch ?lane_mask ?pool ?kernel_mode t launch ~batch] — run
+    [batch] decisions of [launch], returning one {!result} per decision
+    (index = decision order). Decisions whose launch shape supports it
+    (fused kernels on every bank, output-buffer/ACC destination,
+    [iterations > 0]) take the batched fast path; anything else —
+    including [`Reference`] mode, which is the differential oracle —
+    falls back to [batch] sequential {!execute} calls, so the call is
+    total over every launch {!execute} accepts. [pool] fans the banks
+    of the group out bank-major with one synchronization per batch.
+    [Error] with [Invalid_operand] when [batch < 1], otherwise exactly
+    {!execute}'s errors. *)
+val execute_batch :
+  ?lane_mask:bool array ->
+  ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
+  t ->
+  launch ->
+  batch:int ->
+  (result array, Promise_core.Error.t) Stdlib.result
+
+(** [emissions_per_decision task ~th] — how many values one decision
+    emits on the batched serving path: one per TH group (final partial
+    group included), or exactly one for max/min. *)
+val emissions_per_decision : Promise_isa.Task.t -> th:Th_unit.config -> int
+
+(** [execute_batch_into ?lane_mask ?pool ?kernel_mode t launch ~batch
+    ~out] — the zero-allocation serving variant: emitted values land in
+    [out.{d * epd + g}] (decision [d], emission [g], with [epd] the
+    returned {!emissions_per_decision}), and the steady-state
+    per-decision work allocates nothing on the minor heap (the Gc
+    property in test_batch asserts 0 minor words per task; the
+    [C4_sigmoid]/[C4_relu] ops box one float per TH group). Emitted
+    values are bitwise those {!execute}'s [emitted]/[acc_out] would
+    carry. Appends ONE trace record for the whole batch with the
+    pipelined timing model: the analog pipeline never drains between
+    same-shape decisions, so cycles = task_cycles + (batch − 1) ×
+    iterations × TP, plus per-decision degraded-ADC stalls
+    ({!Scheduler.run_batch} validates the closed form). Requires the
+    batched fast path ([Unsupported] otherwise) and
+    [Bigarray.Array1.dim out >= batch * epd]. *)
+val execute_batch_into :
+  ?lane_mask:bool array ->
+  ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
+  t ->
+  launch ->
+  batch:int ->
+  out:Promise_analog.Rng.ba ->
+  (int, Promise_core.Error.t) Stdlib.result
+
+(** [run_program_batch ?pool ?kernel_mode t program ~batch] — [batch]
+    decisions of a raw ISA program with {!default_launch} semantics;
+    element [d] holds decision [d]'s per-task results. Single-task
+    programs ride {!execute_batch}; multi-task programs (which may feed
+    bank state forward between tasks) replay sequentially. Bit-identical
+    to [batch] successive {!run_program} calls either way. *)
+val run_program_batch :
+  ?pool:Promise_core.Pool.t ->
+  ?kernel_mode:kernel_mode ->
+  t ->
+  Promise_isa.Program.t ->
+  batch:int ->
+  (result list array, Promise_core.Error.t) Stdlib.result
+
 (** {2 Test hooks} *)
 
 module For_tests : sig

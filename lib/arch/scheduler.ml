@@ -11,8 +11,7 @@ type schedule = { events : event list; completion : int; adc_stalls : int }
    8 x TP >= 138 is required for stall-free operation — the harness's
    fidelity section quantifies that gap. [ideal_adc] selects between
    the two. *)
-let run ?(ideal_adc = true) ?(adc_units = Promise_analog.Adc.units_per_bank)
-    (task : Task.t) =
+let run_iters ~ideal_adc ~adc_units ~total (task : Task.t) =
   if adc_units < 1 then invalid_arg "Scheduler.run: adc_units must be >= 1";
   let tp = Timing.task_tp task in
   let d1 = Timing.class1_delay task.Task.class1 in
@@ -20,7 +19,7 @@ let run ?(ideal_adc = true) ?(adc_units = Promise_analog.Adc.units_per_bank)
   let d3 = Timing.class3_latency task.Task.class3 in
   let d4 = Timing.class4_delay task.Task.class4 in
   let uses_adc = Task.uses_adc task in
-  let n = Task.iterations task in
+  let n = total in
   let unit_free = Array.make adc_units 0 in
   let events = ref [] in
   let emit iteration stage start finish =
@@ -67,6 +66,19 @@ let run ?(ideal_adc = true) ?(adc_units = Promise_analog.Adc.units_per_bank)
   done;
   { events = List.rev !events; completion = !completion; adc_stalls = !adc_stalls }
 
+let run ?(ideal_adc = true) ?(adc_units = Promise_analog.Adc.units_per_bank)
+    (task : Task.t) =
+  run_iters ~ideal_adc ~adc_units ~total:(Task.iterations task) task
+
+(* A batch keeps issuing iterations every TP cycles across decision
+   boundaries — the pipeline never drains between decisions of the same
+   task shape, which is where the batched throughput comes from: only
+   the first decision pays the fill latency. *)
+let run_batch ?(ideal_adc = true)
+    ?(adc_units = Promise_analog.Adc.units_per_bank) (task : Task.t) ~batch =
+  if batch < 1 then invalid_arg "Scheduler.run_batch: batch must be >= 1";
+  run_iters ~ideal_adc ~adc_units ~total:(batch * Task.iterations task) task
+
 let throughput_interval s =
   let th_finishes =
     List.filter_map
@@ -88,3 +100,9 @@ let throughput_interval s =
 let matches_closed_form task =
   let s = run ~ideal_adc:true task in
   s.completion = Timing.task_cycles task
+
+let batch_matches_closed_form task ~batch =
+  let s = run_batch ~ideal_adc:true task ~batch in
+  s.completion
+  = Timing.task_cycles task
+    + ((batch - 1) * Task.iterations task * Timing.task_tp task)

@@ -650,6 +650,234 @@ let run ?machine ?recovery ?pool ?kernel_mode g b =
       stats;
     }
 
+(* ------------------------------------------------------------------ *)
+(* Batched execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type batch_plan = { batch : int; single_node : bool }
+
+let plan_batch g ~batch =
+  if batch < 1 then invalid_arg "Runtime.plan_batch: batch must be >= 1";
+  {
+    batch;
+    single_node = (match Graph.tasks g with [ _ ] -> true | _ -> false);
+  }
+
+(* The batched single-node fast path: every chunk loads its operands
+   once and runs all [batch] decisions through
+   [Machine.execute_batch]. [Ok None] — before any machine mutation —
+   when the configuration can't take it:
+
+   - streaming X re-loads X-REG per row (chunk count = row count, far
+     beyond the group count);
+   - a non-output-buffer destination feeds bank state forward;
+   - more chunks than bank groups would interleave two chunks on one
+     group's RNG streams, so chunk-major batching would consume them in
+     a different order than decision-major sequential execution.
+
+   When the chunks map to distinct groups, chunk-major is bit-identical
+   to decision-major: each group's streams see exactly their own
+   decisions in order, and operand loads are idempotent. *)
+let run_task_batch ?pool ?kernel_mode machine (at : At.t) ~terminal ~w ~x_opt
+    ~original_n ~batch =
+  let* () =
+    match x_opt with
+    | Some x
+      when Array.length x <> at.At.vector_len
+           && Array.length x <> at.At.vector_len * at.At.loop_iterations ->
+        fail ~code:E.Invalid_operand
+          ~context:[ ("task", at.At.name) ]
+          "X has %d elements, expected %d (broadcast) or %d (streaming)"
+          (Array.length x) at.At.vector_len
+          (at.At.vector_len * at.At.loop_iterations)
+    | _ -> Ok ()
+  in
+  let streaming =
+    match x_opt with
+    | Some x ->
+        at.At.loop_iterations > 1
+        && Array.length x = at.At.vector_len * at.At.loop_iterations
+    | None -> false
+  in
+  if streaming then Ok None
+  else
+    let w_codes, x_codes, rescale = quantize_operands at w x_opt in
+    let groups = Machine.n_banks machine in
+    let* plan =
+      Result.map_error
+        (E.of_string ~layer:"runtime")
+        (Layout.plan ~vector_len:at.At.vector_len ~rows:at.At.loop_iterations
+           ())
+    in
+    let adc_gain =
+      estimate_adc_gain at plan ~w_codes ~x_for_row:(fun _ -> x_codes)
+    in
+    let* template =
+      Lower.lower_chunk ~terminal at ~plan ~chunk:0 ~w_base:0 ~xreg_base:0
+    in
+    let n_chunks = plan.Layout.tasks in
+    let allowed = allowed_groups ~excluded:[] ~plan ~groups in
+    if
+      (not
+         (Opcode.equal_destination template.Task.op_param.Op_param.des
+            Opcode.Des_output_buffer))
+      || n_chunks > List.length allowed
+    then Ok None
+    else begin
+      let class4 = template.Task.class4 in
+      let gain =
+        float_of_int plan.Layout.lanes_per_bank
+        *. Bank.analog_scale template *. rescale
+      in
+      let values_d = Array.make batch [] in
+      let decision_d = Array.make batch None in
+      let rec go chunk row_offset =
+        if chunk >= n_chunks then Ok ()
+        else
+          let rows_c = Layout.chunk_rows plan chunk in
+          let* task =
+            if rows_c = plan.Layout.rows_per_task then Ok template
+            else
+              Lower.lower_chunk ~terminal at
+                ~plan:
+                  {
+                    plan with
+                    Layout.rows = rows_c;
+                    rows_per_task = rows_c;
+                    tasks = 1;
+                  }
+                ~chunk:0 ~w_base:0 ~xreg_base:0
+          in
+          let w_rows =
+            Array.sub w_codes (chunk * plan.Layout.rows_per_task) rows_c
+          in
+          let group = List.nth allowed (chunk mod List.length allowed) in
+          Machine.load_weights machine ~group ~base:0 ~plan w_rows;
+          (match x_codes with
+          | Some xc -> Machine.load_x machine ~group ~xreg_base:0 ~plan xc
+          | None -> ());
+          let th =
+            {
+              Th_unit.op = class4;
+              acc_num = task.Task.op_param.Op_param.acc_num;
+              threshold = at.At.threshold;
+              gain;
+              des = task.Task.op_param.Op_param.des;
+            }
+          in
+          let launch =
+            {
+              Machine.task;
+              bank_group = group;
+              active_lanes = plan.Layout.lanes_per_bank;
+              adc_gain;
+              th;
+              dest_xreg = dest_xreg_index;
+            }
+          in
+          let* results =
+            Machine.execute_batch ?pool ?kernel_mode machine launch ~batch
+          in
+          Array.iteri
+            (fun d (r : Machine.result) ->
+              values_d.(d) <-
+                values_d.(d) @ r.Machine.emitted @ r.Machine.xreg_out;
+              match r.Machine.argext with
+              | Some (gidx, v) ->
+                  decision_d.(d) <-
+                    better_decision class4 (row_offset + gidx, v) decision_d.(d)
+              | None -> ())
+            results;
+          go (chunk + 1) (row_offset + rows_c)
+      in
+      let* () = go 0 0 in
+      let outputs =
+        Array.init batch (fun d ->
+            let values = Array.of_list values_d.(d) in
+            match at.At.digital_op with
+            | At.Do_mean ->
+                let total = Array.fold_left ( +. ) 0.0 values in
+                {
+                  values = [| total /. float_of_int original_n |];
+                  decision = None;
+                }
+            | At.Do_min | At.Do_max -> { values; decision = decision_d.(d) }
+            | At.Do_none | At.Do_sigmoid | At.Do_relu | At.Do_threshold ->
+                { values; decision = None })
+      in
+      Ok (Some outputs)
+    end
+
+let run_batch ?plan ?machine ?recovery ?pool ?kernel_mode g b ~batch =
+  if batch < 1 then
+    E.fail ~layer:"runtime" ~code:E.Invalid_operand
+      ~context:[ ("batch", string_of_int batch) ]
+      "batch must be >= 1"
+  else
+    let bplan = match plan with Some p -> p | None -> plan_batch g ~batch in
+    if bplan.batch <> batch then
+      E.fail ~layer:"runtime" ~code:E.Invalid_operand
+        ~context:
+          [
+            ("plan_batch", string_of_int bplan.batch);
+            ("batch", string_of_int batch);
+          ]
+        "batch plan was computed for a different batch shape"
+    else
+      let machine =
+        match machine with
+        | Some m -> m
+        | None ->
+            Machine.create
+              {
+                Machine.banks = required_banks g;
+                profile = Bank.Silicon;
+                noise_seed = Some 42;
+              }
+      in
+      let replay () =
+        let rec go acc d =
+          if d = batch then Ok (Array.of_list (List.rev acc))
+          else
+            match run ~machine ?recovery ?pool ?kernel_mode g b with
+            | Ok r -> go (r :: acc) (d + 1)
+            | Error e -> Error e
+        in
+        go [] 0
+      in
+      let fast =
+        if (not bplan.single_node) || recovery <> None || batch = 1 then None
+        else
+          match Graph.tasks g with
+          | [ (id, at) ] ->
+              let attempt =
+                let* w = resolve_w g b id at in
+                let* x_opt = resolve_x g b (Hashtbl.create 1) id at in
+                let original_n =
+                  match Hashtbl.find_opt b.flat_lengths at.At.w with
+                  | Some n -> n
+                  | None -> at.At.vector_len * at.At.loop_iterations
+                in
+                let terminal = Graph.successors g id = [] in
+                let* outs =
+                  run_task_batch ?pool ?kernel_mode machine at ~terminal ~w
+                    ~x_opt ~original_n ~batch
+                in
+                Ok (Option.map (fun o -> (id, o)) outs)
+              in
+              Some attempt
+          | _ -> None
+      in
+      match fast with
+      | Some (Ok (Some (id, outs))) ->
+          Ok
+            (Array.map
+               (fun o ->
+                 { outputs = [ (id, o) ]; machine; stats = no_recovery_stats })
+               outs)
+      | Some (Ok None) | None -> replay ()
+      | Some (Error e) -> Error e
+
 let output_of r id =
   match List.assoc_opt id r.outputs with
   | Some o -> Ok o

@@ -40,6 +40,7 @@ type t = {
     ?banks:int ->
     ?pool:Promise_core.Pool.t ->
     ?kernel_mode:Machine.kernel_mode ->
+    ?batch:int ->
     swings:int list ->
     unit ->
     eval;
@@ -71,10 +72,13 @@ let apply_swings g swings =
 let silicon_machine ?(profile = Bank.Silicon) ~banks ~seed () =
   Machine.create { Machine.banks; profile; noise_seed = Some seed }
 
-let run_exn ?recovery ?pool ?kernel_mode machine g b =
-  match Runtime.run ~machine ?recovery ?pool ?kernel_mode g b with
-  | Ok r -> r
-  | Error e -> invalid_arg ("benchmark run failed: " ^ err_string e)
+(* [batch] decisions of the same query on one machine. Bit-identical to
+   [batch] sequential [Runtime.run] calls (the runtime's contract), so
+   [batch = 1] is exactly the historical single-decision evaluation. *)
+let run_batch_exn ?recovery ?pool ?kernel_mode machine g b ~batch =
+  match Runtime.run_batch ~machine ?recovery ?pool ?kernel_mode g b ~batch with
+  | Ok rs -> rs
+  | Error e -> invalid_arg ("benchmark batch run failed: " ^ err_string e)
 
 (* Generic classification evaluation: one machine for the whole test
    set, one graph run per query. [prepare] runs on the freshly-created
@@ -84,24 +88,26 @@ let run_exn ?recovery ?pool ?kernel_mode machine g b =
 let make_classifier_eval ~graph ~bind_static ~bind_query ~queries ~labels
     ~decide ~reference_accuracy =
  fun ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery ?banks ?pool
-     ?kernel_mode ~swings () ->
+     ?kernel_mode ?(batch = 1) ~swings () ->
   let g = apply_swings graph swings in
   let banks =
     match banks with Some b -> b | None -> Runtime.required_banks g
   in
   let machine = silicon_machine ~profile ~banks ~seed () in
   (match prepare with Some f -> f machine | None -> ());
+  (* [batch] noise realizations per query, accuracy over Q × batch
+     decisions; batch 1 is bit-identical to the historical path. *)
   let correct = ref 0 in
   Array.iteri
     (fun i q ->
       let b = Runtime.bindings () in
       bind_static b;
       bind_query b q;
-      let r = run_exn ?recovery ?pool ?kernel_mode machine g b in
-      if decide r = labels.(i) then incr correct)
+      let rs = run_batch_exn ?recovery ?pool ?kernel_mode machine g b ~batch in
+      Array.iter (fun r -> if decide r = labels.(i) then incr correct) rs)
     queries;
   let promise_accuracy =
-    float_of_int !correct /. float_of_int (Array.length queries)
+    float_of_int !correct /. float_of_int (Array.length queries * batch)
   in
   {
     promise_accuracy;
@@ -517,7 +523,7 @@ let pca =
       (* Accuracy proxy for a non-classifier: 1 − mean relative feature
          error against the float reference. *)
       let feature_fidelity ?(seed = 42) ?(profile = Bank.Silicon) ?prepare
-          ?recovery ?banks ?pool ?kernel_mode ~swings () =
+          ?recovery ?banks ?pool ?kernel_mode ?(batch = 1) ~swings () =
         let g = apply_swings graph swings in
         let banks =
           match banks with Some b -> b | None -> Runtime.required_banks g
@@ -532,17 +538,22 @@ let pca =
             let b = Runtime.bindings () in
             Runtime.bind_matrix b "W" model.Ml.Pca.components;
             Runtime.bind_vector b "x" centered;
-            let got =
-              final_values (run_exn ?recovery ?pool ?kernel_mode machine g b)
+            let rs =
+              run_batch_exn ?recovery ?pool ?kernel_mode machine g b ~batch
             in
             let scale = Float.max 1e-6 (Ml.Linalg.max_abs reference) in
-            let err =
-              Ml.Linalg.max_abs (Ml.Linalg.sub got reference) /. scale
-            in
-            total_err := !total_err +. err)
+            Array.iter
+              (fun r ->
+                let got = final_values r in
+                let err =
+                  Ml.Linalg.max_abs (Ml.Linalg.sub got reference) /. scale
+                in
+                total_err := !total_err +. err)
+              rs)
           test;
         let fidelity =
-          Float.max 0.0 (1.0 -. (!total_err /. float_of_int (Array.length test)))
+          Float.max 0.0
+            (1.0 -. (!total_err /. float_of_int (Array.length test * batch)))
         in
         {
           promise_accuracy = fidelity;
@@ -616,7 +627,7 @@ let linreg =
         | _ -> invalid_arg "linreg: expected four statistics"
       in
       let evaluate ?(seed = 42) ?(profile = Bank.Silicon) ?prepare ?recovery
-          ?banks ?pool ?kernel_mode ~swings () =
+          ?banks ?pool ?kernel_mode ?(batch = 1) ~swings () =
         let g = apply_swings graph swings in
         let banks =
           match banks with Some b -> b | None -> Runtime.required_banks g
@@ -625,16 +636,22 @@ let linreg =
         (match prepare with Some f -> f machine | None -> ());
         let b = Runtime.bindings () in
         bind b;
-        let fit =
-          fit_of_run (run_exn ?recovery ?pool ?kernel_mode machine g b)
-        in
+        let rs = run_batch_exn ?recovery ?pool ?kernel_mode machine g b ~batch in
         let rel a b = Float.abs (a -. b) /. Float.max 0.05 (Float.abs b) in
-        let err =
-          Float.max
-            (rel fit.Ml.Linreg.slope reference.Ml.Linreg.slope)
-            (rel fit.Ml.Linreg.intercept reference.Ml.Linreg.intercept)
-        in
-        let fidelity = Float.max 0.0 (1.0 -. err) in
+        (* mean fidelity over the batch's fits; batch 1 is the
+           historical single-fit evaluation. *)
+        let total = ref 0.0 in
+        Array.iter
+          (fun r ->
+            let fit = fit_of_run r in
+            let err =
+              Float.max
+                (rel fit.Ml.Linreg.slope reference.Ml.Linreg.slope)
+                (rel fit.Ml.Linreg.intercept reference.Ml.Linreg.intercept)
+            in
+            total := !total +. Float.max 0.0 (1.0 -. err))
+          rs;
+        let fidelity = !total /. float_of_int batch in
         {
           promise_accuracy = fidelity;
           reference_accuracy = 1.0;

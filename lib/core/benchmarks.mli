@@ -39,6 +39,7 @@ type t = {
     ?banks:int ->
     ?pool:Promise_core.Pool.t ->
     ?kernel_mode:Promise_arch.Machine.kernel_mode ->
+    ?batch:int ->
     swings:int list ->
     unit ->
     eval;
@@ -51,7 +52,10 @@ type t = {
           size (sparing lanes shrinks per-bank capacity); [pool]
           parallelizes multi-bank task execution (bit-identical at any
           job count); [kernel_mode] selects the fused or reference
-          analog datapath (also bit-identical). *)
+          analog datapath (also bit-identical); [batch] (default 1)
+          runs that many noise realizations of every query through
+          {!Promise_compiler.Runtime.run_batch} and scores all of them
+          — batch 1 is bit-identical to the historical evaluation. *)
   stats : Promise_compiler.Precision.stats option;
       (** Sakr back-prop statistics (DNNs only) *)
 }

@@ -180,17 +180,18 @@ let recovered_banks (b : B.t) (r : Runtime.recovery) =
   let base = Runtime.required_banks ~max_lanes b.B.graph in
   if r.Runtime.excluded_banks = [] then base else 2 * base
 
-let run_cell ?pool ~scenario (b : B.t) ~baseline =
+let run_cell ?pool ?(batch = 1) ~scenario (b : B.t) ~baseline =
   let swings = B.max_swings b in
   let faulted =
-    (b.B.evaluate ~prepare:scenario.inject ?pool ~swings ()).B.promise_accuracy
+    (b.B.evaluate ~prepare:scenario.inject ?pool ~batch ~swings ())
+      .B.promise_accuracy
   in
   let report = probe_report scenario in
   let detected = detected_in report scenario in
   let recovery = Runtime.recovery_of_report report in
   let recovered =
     (b.B.evaluate ~prepare:scenario.inject ~recovery
-       ~banks:(recovered_banks b recovery) ?pool ~swings ())
+       ~banks:(recovered_banks b recovery) ?pool ~batch ~swings ())
       .B.promise_accuracy
   in
   let residual = Float.max 0.0 (baseline -. recovered) in
@@ -216,12 +217,12 @@ let fast_benchmarks () = [ B.matched_filter (); B.template_l1 (); B.knn_l1 () ]
    per-benchmark baselines, then the full scenario × benchmark grid.
    Results come back in input order — the table is identical at any
    job count. *)
-let run_cells ?pool ~scenarios ~benchmarks () =
+let run_cells ?pool ?(batch = 1) ~scenarios ~benchmarks () =
   let pool = Option.value pool ~default:Promise_core.Pool.sequential in
   let baselines =
     Promise_core.Pool.map_list pool
       (fun (b : B.t) ->
-        (b.B.evaluate ~swings:(B.max_swings b) ()).B.promise_accuracy)
+        (b.B.evaluate ~batch ~swings:(B.max_swings b) ()).B.promise_accuracy)
       benchmarks
   in
   let grid =
@@ -230,7 +231,7 @@ let run_cells ?pool ~scenarios ~benchmarks () =
       (List.combine benchmarks baselines)
   in
   Promise_core.Pool.map_list pool
-    (fun ((b : B.t), baseline, s) -> run_cell ~scenario:s b ~baseline)
+    (fun ((b : B.t), baseline, s) -> run_cell ~batch ~scenario:s b ~baseline)
     grid
 
 let print_cells ppf cells =
@@ -287,9 +288,14 @@ type progress = {
   p_cells : cell_result option array;
 }
 
-let config_digest ~scenarios ~benchmarks =
+(* [batch] is part of the digest: a checkpoint (or fleet shard) written
+   at one batch width holds different cell values than another, so
+   resuming it at a different width must be a stale-checkpoint
+   rejection, never a silent mix. *)
+let config_digest ?(batch = 1) ~scenarios ~benchmarks () =
   Ckpt.digest_of_config ~kind:"campaign-cells"
     ((Printf.sprintf "budget=%.4f" residual_budget
+     :: Printf.sprintf "batch=%d" batch
      :: List.map (fun s -> s.sname ^ "/" ^ s.kind) scenarios)
     @ List.map (fun (b : B.t) -> b.B.short) benchmarks)
 
@@ -308,7 +314,7 @@ let rec take k = function
       let a, b = take (k - 1) tl in
       (x :: a, b)
 
-let run_cells_supervised ?pool
+let run_cells_supervised ?pool ?(batch = 1)
     ?(on_checkpoint = fun ~completed:_ ~total:_ -> ())
     (session : Sup.session) ~scenarios ~benchmarks () =
   let pool = Option.value pool ~default:Promise_core.Pool.sequential in
@@ -318,7 +324,7 @@ let run_cells_supervised ?pool
   let sarr = Array.of_list scenarios in
   let nb = Array.length barr and ns = Array.length sarr in
   let total = nb * ns in
-  let digest = config_digest ~scenarios ~benchmarks in
+  let digest = config_digest ~batch ~scenarios ~benchmarks () in
   let fresh () =
     { p_baselines = Array.make nb None; p_cells = Array.make total None }
   in
@@ -405,7 +411,7 @@ let run_cells_supervised ?pool
               (fun i ->
                 let b = barr.(i) in
                 Ok
-                  (b.B.evaluate ~swings:(B.max_swings b) ())
+                  (b.B.evaluate ~batch ~swings:(B.max_swings b) ())
                     .B.promise_accuracy)
               missing_b
           in
@@ -445,7 +451,7 @@ let run_cells_supervised ?pool
           let bi = gi / ns and si = gi mod ns in
           let b = barr.(bi) and s = sarr.(si) in
           match progress.p_baselines.(bi) with
-          | Some (Ok baseline) -> Ok (run_cell ~scenario:s b ~baseline)
+          | Some (Ok baseline) -> Ok (run_cell ~batch ~scenario:s b ~baseline)
           | _ ->
               E.fail ~layer:"campaign" ~code:E.Internal
                 ~context:[ ("benchmark", b.B.short) ]
@@ -597,8 +603,8 @@ let capture_cell_exn ~what exn =
    beats shipping floats between processes, and a shard's result then
    depends only on its index, which is what makes kill/resume runs
    bit-identical to clean ones. *)
-let run_cells_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ~scenarios
-    ~benchmarks () =
+let run_cells_fleet ?on_shard_done ?(batch = 1) (fcfg : Fleet.config) ~shards
+    ~scenarios ~benchmarks () =
   let barr = Array.of_list benchmarks and sarr = Array.of_list scenarios in
   let nb = Array.length barr and ns = Array.length sarr in
   let total = nb * ns in
@@ -616,7 +622,7 @@ let run_cells_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ~scenarios
         } )
   else begin
     let ranges = Fleet.ranges ~shards ~items:total in
-    let digest = config_digest ~scenarios ~benchmarks in
+    let digest = config_digest ~batch ~scenarios ~benchmarks () in
     let f ~shard =
       let off, len = ranges.(shard) in
       let baselines = Array.make nb None in
@@ -628,7 +634,7 @@ let run_cells_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ~scenarios
               try
                 let b = barr.(bi) in
                 Ok
-                  (b.B.evaluate ~swings:(B.max_swings b) ())
+                  (b.B.evaluate ~batch ~swings:(B.max_swings b) ())
                     .B.promise_accuracy
               with exn ->
                 Error
@@ -646,7 +652,7 @@ let run_cells_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ~scenarios
           match baseline_for bi with
           | Error e -> Error (E.with_context e [ ("cascade", "baseline failed") ])
           | Ok baseline -> (
-              try Ok (run_cell ~scenario:s b ~baseline)
+              try Ok (run_cell ~batch ~scenario:s b ~baseline)
               with exn ->
                 Error
                   (capture_cell_exn
@@ -687,14 +693,16 @@ let run_cells_fleet ?on_shard_done (fcfg : Fleet.config) ~shards ~scenarios
         Fleet_completed (cells, summary)
   end
 
-let report_fleet ?(quick = false) ?on_shard_done fcfg ~shards ppf =
+let report_fleet ?(quick = false) ?on_shard_done ?(batch = 1) fcfg ~shards ppf =
   let scenarios = if quick then quick_scenarios () else all_scenarios () in
   let benchmarks = fast_benchmarks () in
   Format.fprintf ppf
     "@.== Fault-injection campaign (%d scenarios x %d benchmarks%s) ==@."
     (List.length scenarios) (List.length benchmarks)
     (if quick then ", quick" else "");
-  match run_cells_fleet ?on_shard_done fcfg ~shards ~scenarios ~benchmarks () with
+  match
+    run_cells_fleet ?on_shard_done ~batch fcfg ~shards ~scenarios ~benchmarks ()
+  with
   | (Fleet_interrupted _ | Fleet_rejected _) as o -> o
   | Fleet_completed (results, _) as o ->
       print_cell_results ppf results;

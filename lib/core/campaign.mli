@@ -48,13 +48,16 @@ val fast_benchmarks : unit -> Benchmarks.t list
 
 val run_cells :
   ?pool:Promise_core.Pool.t ->
+  ?batch:int ->
   scenarios:scenario list ->
   benchmarks:Benchmarks.t list ->
   unit ->
   cell list
 (** Cells are independent and fan out across [pool] (baselines first,
     then the scenario × benchmark grid); the result list is identical
-    at any job count. *)
+    at any job count. [batch] (default 1) scores that many batched
+    noise realizations per query ({!Benchmarks}); batch 1 is
+    bit-identical to the historical campaign. *)
 
 val print_cells : Format.formatter -> cell list -> unit
 
@@ -95,12 +98,19 @@ type outcome =
       (** the checkpoint belongs to a different run configuration *)
 
 val config_digest :
-  scenarios:scenario list -> benchmarks:Benchmarks.t list -> string
+  ?batch:int ->
+  scenarios:scenario list ->
+  benchmarks:Benchmarks.t list ->
+  unit ->
+  string
 (** The digest guarding campaign checkpoints: scenario names/kinds,
-    benchmark shorts, the residual budget, the library version. *)
+    benchmark shorts, the residual budget, the batch width, the
+    library version. A checkpoint written at one batch width is a
+    stale-checkpoint rejection at any other. *)
 
 val run_cells_supervised :
   ?pool:Promise_core.Pool.t ->
+  ?batch:int ->
   ?on_checkpoint:(completed:int -> total:int -> unit) ->
   Promise_core.Supervisor.session ->
   scenarios:scenario list ->
@@ -157,6 +167,7 @@ type fleet_outcome =
 
 val run_cells_fleet :
   ?on_shard_done:(shard:int -> completed:int -> total:int -> unit) ->
+  ?batch:int ->
   Promise_core.Fleet.config ->
   shards:int ->
   scenarios:scenario list ->
@@ -164,11 +175,16 @@ val run_cells_fleet :
   unit ->
   fleet_outcome
 (** {!run_cells} across a worker fleet. [shards] is a request: the
-    grid is split into at most that many non-empty ranges. *)
+    grid is split into at most that many non-empty ranges. [batch]
+    (default 1) is forwarded to every evaluation and folded into the
+    shard checkpoint digest, so kill/resume runs at batch N stay
+    bit-identical to uninterrupted batch-N runs and can never resume a
+    differently-batched shard. *)
 
 val report_fleet :
   ?quick:bool ->
   ?on_shard_done:(shard:int -> completed:int -> total:int -> unit) ->
+  ?batch:int ->
   Promise_core.Fleet.config ->
   shards:int ->
   Format.formatter ->

@@ -136,11 +136,16 @@ let run = Promise_compiler.Pipeline.run
 (** [energy_report program] — Eq. (6) breakdown of an ISA program. *)
 let energy_report = Promise_energy.Model.program_energy
 
+(** [run_batch ?machine kernel bindings ~batch] — compile and execute
+    [batch] decisions (bit-identical to [batch] sequential {!run}s). *)
+let run_batch = Promise_compiler.Pipeline.run_batch
+
 (** [check_env ()] — validate every [PROMISE_*] environment variable a
     run consults, with typed errors instead of silent fallbacks: a
     typo'd [PROMISE_JOBS=fuor] fails loudly at CLI startup rather than
     quietly running at the default width. The kernel-mode value list
-    mirrors [Arch.Machine.kernel_mode_of_env]. *)
+    mirrors [Arch.Machine.kernel_mode_of_env]; the batch range mirrors
+    [Arch.Machine.default_batch]. *)
 let check_env () =
   Promise_core.Validate.all
     [
@@ -149,6 +154,8 @@ let check_env () =
       Result.map ignore
         (Promise_core.Validate.env_enum ~name:"PROMISE_KERNEL_MODE"
            ~values:[ "fused"; "reference"; "ref"; "scalar" ]);
+      Result.map ignore
+        (Promise_core.Validate.env_int ~name:"PROMISE_BATCH" ~min:1 ~max:4096);
     ]
 
 (** [version]. *)

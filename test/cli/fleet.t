@@ -24,3 +24,18 @@ Validation: flags and workloads are checked before any fork.
 
   $ promise_fleet report table1 --chaos bogus 2>&1 | tail -1
   Try 'promise-fleet --help' for more information.
+
+  $ promise_fleet campaign --batch 0 2>&1 | tail -1
+  Try 'promise-fleet --help' for more information.
+
+  $ promise_fleet campaign --batch 4097 2>&1 | tail -1
+  Try 'promise-fleet --help' for more information.
+
+Batched execution over a fleet: losing a worker to the chaos monkey
+mid-run leaves the batch-8 campaign byte-identical to the
+uninterrupted batch-8 run (the shard checkpoint digest folds the
+batch width in, so the restarted worker resumes at the same width).
+
+  $ promise_fleet campaign --quick --batch 8 --workers 2 --chaos kill-one 2>/dev/null > chaos8.txt
+  $ promise_fleet campaign --quick --batch 8 --workers 2 2>/dev/null > plain8.txt
+  $ cmp chaos8.txt plain8.txt

@@ -1,0 +1,697 @@
+(* Differential tests for the batch-dimension execution engine: N
+   batched decisions must be bit-identical to N sequential
+   single-decision runs — against both the fused path and the scalar
+   reference oracle — across task shapes, fault profiles, swing/launch
+   configurations and batch sizes (including N = 1, pool width, and
+   ragged chained batches). Plus: the zero-allocation serving path's Gc
+   property, the pipelined-timing closed form (Scheduler.run_batch),
+   launch-shape-keyed batch plans in Pipeline.Cache, and typed
+   validation of --batch / PROMISE_BATCH. *)
+
+module P = Promise
+module Arch = P.Arch
+module Machine = Arch.Machine
+module Scheduler = Arch.Scheduler
+module Faults = Arch.Faults
+module Rng = P.Analog.Rng
+module Task = P.Isa.Task
+module Op = P.Isa.Opcode
+module Op_param = P.Isa.Op_param
+module Program = P.Isa.Program
+module Dsl = P.Ir.Dsl
+module Rt = P.Compiler.Runtime
+module Pipeline = P.Compiler.Pipeline
+module Cache = Pipeline.Cache
+module Pool = P.Pool
+module E = P.Error
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let fok = function Ok v -> v | Error e -> Alcotest.fail (E.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: batched == N sequential singles, fused AND reference        *)
+(* ------------------------------------------------------------------ *)
+
+type case = {
+  seed : int;
+  noisy : bool;
+  profile : int;  (** 0 Ideal, 1 Silicon, 2 Custom lut, 3 Custom leakage *)
+  banks_log : int;
+  mb : int;
+  rpt : int;
+  shape : int;  (** includes the non-fusable passthrough shape *)
+  fault : int;
+  masked : bool;
+  active_lanes : int;
+  gain_log : int;
+  swing : int;
+  x_prd : int;
+  batch : int;
+}
+
+let gen_case st =
+  let open QCheck.Gen in
+  let banks_log = int_range 0 3 st in
+  {
+    seed = int_bound 10_000 st;
+    noisy = bool st;
+    profile = int_bound 3 st;
+    banks_log;
+    mb = int_range 0 banks_log st;
+    rpt = int_bound 127 st;
+    shape = int_bound 6 st;
+    fault = int_bound 5 st;
+    masked = bool st;
+    active_lanes = int_range 1 128 st;
+    gain_log = int_bound 2 st;
+    swing = int_bound 7 st;
+    x_prd = int_bound 3 st;
+    batch = oneofl [ 1; 2; 3; 4; 8; 16; 33 ] st;
+  }
+
+let print_case c =
+  Printf.sprintf
+    "{seed=%d; noisy=%b; profile=%d; banks=%d; mb=%d; rpt=%d; shape=%d; \
+     fault=%d; masked=%b; lanes=%d; gain=%d; swing=%d; x_prd=%d; batch=%d}"
+    c.seed c.noisy c.profile (1 lsl c.banks_log) c.mb c.rpt c.shape c.fault
+    c.masked c.active_lanes (1 lsl c.gain_log) c.swing c.x_prd c.batch
+
+let task_of c =
+  let op_param =
+    {
+      Op_param.default with
+      swing = c.swing;
+      w_addr = c.seed mod 64;
+      x_addr1 = 1;
+      x_addr2 = 2;
+      x_prd = c.x_prd;
+    }
+  in
+  let mk ~class1 ~asd ~avd ~class3 ~class4 =
+    Task.make ~op_param ~rpt_num:c.rpt ~multi_bank:c.mb ~class1
+      ~class2:{ Op.asd; avd } ~class3 ~class4 ()
+  in
+  match c.shape with
+  | 0 ->
+      mk ~class1:Op.C1_aread ~asd:Op.Asd_sign_mult ~avd:true ~class3:Op.C3_adc
+        ~class4:Op.C4_accumulate
+  | 1 ->
+      mk ~class1:Op.C1_aread ~asd:Op.Asd_unsign_mult ~avd:true
+        ~class3:Op.C3_adc ~class4:Op.C4_max
+  | 2 ->
+      mk ~class1:Op.C1_asubt ~asd:Op.Asd_absolute ~avd:true ~class3:Op.C3_adc
+        ~class4:Op.C4_accumulate
+  | 3 ->
+      mk ~class1:Op.C1_aadd ~asd:Op.Asd_square ~avd:true ~class3:Op.C3_adc
+        ~class4:Op.C4_min
+  | 4 ->
+      mk ~class1:Op.C1_aread ~asd:Op.Asd_compare ~avd:true ~class3:Op.C3_adc
+        ~class4:Op.C4_accumulate
+  | 5 ->
+      mk ~class1:Op.C1_asubt ~asd:Op.Asd_none ~avd:true ~class3:Op.C3_adc
+        ~class4:Op.C4_accumulate
+  | _ ->
+      (* aVD off: not fusable — the batch engine must fall back to
+         sequential replay and still be bit-identical *)
+      mk ~class1:Op.C1_aread ~asd:Op.Asd_none ~avd:false ~class3:Op.C3_none
+        ~class4:Op.C4_accumulate
+
+let faults_of c =
+  match c.fault with
+  | 0 -> Faults.none
+  | 1 ->
+      fok
+        (Faults.with_dead_lane
+           (fok (Faults.with_stuck_lane Faults.none ~lane:7 ~code:42))
+           ~lane:3)
+  | 2 -> fok (Faults.with_xreg_flips Faults.none ~seed:(c.seed + 1) ~rate:0.3)
+  | 3 ->
+      fok
+        (Faults.with_swing_drift (Faults.with_adc_offset Faults.none 0.05) 2)
+  | 4 -> fok (Faults.with_leakage_mult Faults.none 3.0)
+  | _ -> Faults.with_dead_bank Faults.none
+
+(* Two machines built from the same case are identical by construction:
+   same seed, same split noise streams, same data image, same faults. *)
+let machine_of c =
+  let profile =
+    match c.profile with
+    | 0 -> Arch.Bank.Ideal
+    | 1 -> Arch.Bank.Silicon
+    | 2 -> Arch.Bank.Custom { lut = true; leakage = false }
+    | _ -> Arch.Bank.Custom { lut = false; leakage = true }
+  in
+  let m =
+    Machine.create
+      {
+        Machine.banks = 1 lsl c.banks_log;
+        profile;
+        noise_seed = (if c.noisy then Some c.seed else None);
+      }
+  in
+  let rng = Rng.create ((c.seed * 13) + 7) in
+  let codes () =
+    Array.init Arch.Params.lanes (fun _ -> Rng.int rng 255 - 128)
+  in
+  for bi = 0 to Machine.n_banks m - 1 do
+    let bank = Machine.bank m bi in
+    for row = 0 to 63 do
+      Arch.Bitcell_array.write (Arch.Bank.array bank) ~word_row:row (codes ())
+    done;
+    for i = 0 to Arch.Params.xreg_depth - 1 do
+      Arch.Xreg.load (Arch.Bank.xreg bank) ~index:i (codes ())
+    done
+  done;
+  Arch.Bank.set_faults (Machine.bank m 0) (faults_of c);
+  m
+
+let launch_of c task =
+  {
+    (Machine.default_launch task) with
+    Machine.active_lanes = c.active_lanes;
+    adc_gain = float_of_int (1 lsl c.gain_log);
+  }
+
+let lane_mask_of c =
+  if c.masked then Some (Array.init Arch.Params.lanes (fun i -> i mod 3 <> 0))
+  else None
+
+let same_result (a : Machine.result) (b : Machine.result) =
+  a.emitted = b.emitted && a.acc_out = b.acc_out && a.xreg_out = b.xreg_out
+  && a.write_buffer = b.write_buffer
+  && a.argext = b.argext && a.digital = b.digital
+
+(* [batch] sequential executes on a fresh twin machine. *)
+let run_singles c mode =
+  let m = machine_of c in
+  let launch = launch_of c (task_of c) in
+  let lane_mask = lane_mask_of c in
+  let rec go n acc =
+    if n = 0 then Ok (Array.of_list (List.rev acc))
+    else
+      match Machine.execute ?lane_mask ~kernel_mode:mode m launch with
+      | Ok r -> go (n - 1) (r :: acc)
+      | Error e -> Error (E.to_string e)
+  in
+  go c.batch []
+
+let run_batched c mode =
+  let m = machine_of c in
+  let launch = launch_of c (task_of c) in
+  let lane_mask = lane_mask_of c in
+  match Machine.execute_batch ?lane_mask ~kernel_mode:mode m launch
+          ~batch:c.batch
+  with
+  | Ok rs -> Ok rs
+  | Error e -> Error (E.to_string e)
+
+let same_results a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> same_result x y) a b
+
+let qcheck_batched_eq_singles =
+  QCheck.Test.make ~name:"execute_batch == N sequential executes" ~count:40
+    (QCheck.make ~print:print_case gen_case) (fun c ->
+      let ref_singles = run_singles c Machine.Reference in
+      let fus_singles = run_singles c Machine.Fused in
+      let batched = run_batched c Machine.Fused in
+      match (ref_singles, fus_singles, batched) with
+      | Ok rs, Ok fs, Ok bs -> same_results rs fs && same_results fs bs
+      | Error e1, Error e2, Error e3 -> e1 = e2 && e2 = e3
+      | _ -> false)
+
+(* RNG stream continuity: chunked ragged batches (5 then 3) on ONE
+   machine equal one batch of 8 on a twin, equal 8 sequential singles
+   on a third — against both kernel modes. *)
+let test_ragged_chained () =
+  List.iter
+    (fun shape ->
+      let c =
+        {
+          seed = 2024 + shape;
+          noisy = true;
+          profile = 1;
+          banks_log = 1;
+          mb = 1;
+          rpt = 31;
+          shape;
+          fault = 0;
+          masked = false;
+          active_lanes = 128;
+          gain_log = 1;
+          swing = 7;
+          x_prd = 2;
+          batch = 8;
+        }
+      in
+      let launch = launch_of c (task_of c) in
+      let chunked =
+        (* explicit lets: argument positions would evaluate right to
+           left, running the 3-chunk before the 5-chunk *)
+        let m = machine_of c in
+        let first = fok (Machine.execute_batch m launch ~batch:5) in
+        let rest = fok (Machine.execute_batch m launch ~batch:3) in
+        Array.append first rest
+      in
+      let whole = fok (Machine.execute_batch (machine_of c) launch ~batch:8) in
+      let singles =
+        match run_singles { c with batch = 8 } Machine.Reference with
+        | Ok rs -> rs
+        | Error e -> Alcotest.fail e
+      in
+      check bool
+        (Printf.sprintf "shape %d: 5+3 chunks == one batch of 8" shape)
+        true
+        (same_results chunked whole);
+      check bool
+        (Printf.sprintf "shape %d: batch of 8 == 8 reference singles" shape)
+        true
+        (same_results whole singles))
+    [ 0; 1; 2; 3 ]
+
+(* Pool fan-out across the banks of the group is bit-identical. *)
+let test_batched_pooled () =
+  let c =
+    {
+      seed = 77;
+      noisy = true;
+      profile = 1;
+      banks_log = 2;
+      mb = 2;
+      rpt = 63;
+      shape = 2;
+      fault = 0;
+      masked = false;
+      active_lanes = 128;
+      gain_log = 0;
+      swing = 7;
+      x_prd = 1;
+      batch = 4;
+    }
+  in
+  let launch = launch_of c (task_of c) in
+  let seq = fok (Machine.execute_batch (machine_of c) launch ~batch:4) in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let par =
+        fok (Machine.execute_batch ~pool (machine_of c) launch ~batch:4)
+      in
+      check bool "pooled batch == sequential batch" true
+        (same_results seq par))
+
+(* ------------------------------------------------------------------ *)
+(* The zero-allocation serving path                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serving_case shape =
+  {
+    seed = 501 + shape;
+    noisy = true;
+    profile = 1;
+    banks_log = 0;
+    mb = 0;
+    rpt = 127;
+    shape;
+    fault = 0;
+    masked = false;
+    active_lanes = 128;
+    gain_log = 0;
+    swing = 7;
+    x_prd = 1;
+    batch = 8;
+  }
+
+let ba_create n = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n
+
+(* out.{d*epd + g} is bitwise the emission stream of the d-th
+   sequential execute (emitted for accumulate/threshold, the extremum
+   value for max/min). *)
+let test_into_bitwise () =
+  List.iter
+    (fun shape ->
+      let c = serving_case shape in
+      let task = task_of c in
+      let launch = launch_of c task in
+      let epd =
+        Machine.emissions_per_decision task ~th:launch.Machine.th
+      in
+      let out = ba_create (c.batch * epd) in
+      let n =
+        fok
+          (Machine.execute_batch_into (machine_of c) launch ~batch:c.batch
+             ~out)
+      in
+      check int (Printf.sprintf "shape %d: returned epd" shape) epd n;
+      let m = machine_of c in
+      for d = 0 to c.batch - 1 do
+        let r = Machine.execute_exn ~kernel_mode:Machine.Fused m launch in
+        let want =
+          match r.Machine.argext with
+          | Some (_, v) -> [ v ]
+          | None -> r.Machine.emitted @ r.Machine.acc_out
+        in
+        check int
+          (Printf.sprintf "shape %d decision %d: emission count" shape d)
+          epd (List.length want);
+        List.iteri
+          (fun g v ->
+            if
+              Int64.bits_of_float out.{(d * epd) + g}
+              <> Int64.bits_of_float v
+            then
+              Alcotest.failf "shape %d decision %d emission %d: %h <> %h"
+                shape d g
+                out.{(d * epd) + g}
+                v)
+          want
+      done)
+    [ 0; 1; 3 ]
+
+let test_into_zero_alloc () =
+  let c = serving_case 0 in
+  let task = task_of c in
+  let launch = launch_of c task in
+  let m = machine_of c in
+  let batch = 512 in
+  let epd = Machine.emissions_per_decision task ~th:launch.Machine.th in
+  let out = ba_create (batch * epd) in
+  (* warmup compiles the kernels and grows the noise plane / tables *)
+  ignore (fok (Machine.execute_batch_into m launch ~batch ~out));
+  let minor0 = Gc.minor_words () in
+  ignore (fok (Machine.execute_batch_into m launch ~batch ~out));
+  let delta = Gc.minor_words () -. minor0 in
+  let per_task = delta /. float_of_int batch in
+  (* the per-decision loop is allocation-free; the per-call fixed cost
+     (one trace record, a few boxes) must amortize below 1 word/task *)
+  if per_task >= 1.0 then
+    Alcotest.failf
+      "batched serving allocated %.2f minor words/task (%.0f words for %d \
+       decisions)"
+      per_task delta batch
+
+(* The batch trace record carries the pipelined timing closed form. *)
+let test_batch_trace_timing () =
+  let c = serving_case 0 in
+  let task = task_of c in
+  let launch = launch_of c task in
+  let m = machine_of c in
+  let batch = 16 in
+  let epd = Machine.emissions_per_decision task ~th:launch.Machine.th in
+  let out = ba_create (batch * epd) in
+  ignore (fok (Machine.execute_batch_into m launch ~batch ~out));
+  match (Machine.trace m).Arch.Trace.records with
+  | record :: _ ->
+      let iters = Task.iterations task in
+      let tp = Arch.Timing.task_tp task in
+      check int "batched cycles = fill + (N-1) * iters * TP"
+        (Arch.Timing.task_cycles task + ((batch - 1) * iters * tp))
+        record.Arch.Trace.cycles;
+      check int "iterations cover the whole batch" (batch * iters)
+        record.Arch.Trace.iterations
+  | [] -> Alcotest.fail "no trace record"
+
+(* ------------------------------------------------------------------ *)
+(* Discrete-event validation of the closed form                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_closed_form () =
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun batch ->
+          let c = { (serving_case shape) with rpt = 19 } in
+          let task = task_of c in
+          check bool
+            (Printf.sprintf "shape %d batch %d matches closed form" shape
+               batch)
+            true
+            (Scheduler.batch_matches_closed_form task ~batch))
+        [ 1; 2; 7; 16 ])
+    [ 0; 1; 2; 3; 4; 5 ];
+  (match Scheduler.run_batch (task_of (serving_case 0)) ~batch:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Scheduler.run_batch accepted batch 0");
+  (* batch 1 degenerates to the single-decision schedule *)
+  let task = task_of (serving_case 2) in
+  check int "batch 1 == run"
+    (Scheduler.run task).Scheduler.completion
+    (Scheduler.run_batch task ~batch:1).Scheduler.completion
+
+(* ------------------------------------------------------------------ *)
+(* Program- and runtime-level batching                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_program_batch () =
+  let c = { (serving_case 0) with banks_log = 1; mb = 0 } in
+  let program =
+    Program.make ~name:"two"
+      [ task_of c; task_of { c with shape = 2; rpt = 15 } ]
+  in
+  let batch = 5 in
+  let batched =
+    fok (Machine.run_program_batch (machine_of c) program ~batch)
+  in
+  let m = machine_of c in
+  let replayed =
+    Array.init batch (fun _ -> fok (Machine.run_program m program))
+  in
+  check int "one result list per decision" batch (Array.length batched);
+  Array.iteri
+    (fun d rs ->
+      check bool
+        (Printf.sprintf "decision %d: multi-task program identical" d)
+        true
+        (List.for_all2 same_result rs replayed.(d)))
+    batched
+
+let bt_kernel =
+  Dsl.kernel ~name:"bt"
+    ~decls:
+      [
+        Dsl.matrix "W" ~rows:8 ~cols:64;
+        Dsl.vector "x" ~len:64;
+        Dsl.out_vector "out" ~len:8;
+      ]
+    [ Dsl.for_store ~iterations:8 ~out:"out" (Dsl.dot "W" "x") ]
+
+let bt_bindings () =
+  let rng = Rng.create 8101 in
+  let w =
+    Array.init 8 (fun _ ->
+        Array.init 64 (fun _ -> Rng.uniform rng ~lo:(-0.9) ~hi:0.9))
+  in
+  let x = Array.init 64 (fun _ -> Rng.uniform rng ~lo:(-0.9) ~hi:0.9) in
+  let b = Rt.bindings () in
+  Rt.bind_matrix b "W" w;
+  Rt.bind_vector b "x" x;
+  b
+
+let bt_machine g =
+  Machine.create
+    {
+      Machine.banks = Rt.required_banks g;
+      profile = Arch.Bank.Silicon;
+      noise_seed = Some 42;
+    }
+
+let outputs_of r =
+  List.map
+    (fun (id, (o : Rt.task_output)) -> (id, o.Rt.values, o.Rt.decision))
+    r.Rt.outputs
+
+let test_runtime_batch () =
+  let g = fok (P.compile bt_kernel) in
+  let plan = fok (Pipeline.plan_for g ~batch:3) in
+  check bool "single-node graph plans the fast path" true
+    plan.Rt.single_node;
+  let batched =
+    fok (Rt.run_batch ~plan ~machine:(bt_machine g) g (bt_bindings ()) ~batch:3)
+  in
+  let m = bt_machine g in
+  let sequential =
+    Array.init 3 (fun _ -> fok (Rt.run ~machine:m g (bt_bindings ())))
+  in
+  check int "one run_result per decision" 3 (Array.length batched);
+  Array.iteri
+    (fun d r ->
+      check bool
+        (Printf.sprintf "decision %d: runtime outputs bit-identical" d)
+        true
+        (outputs_of r = outputs_of sequential.(d)))
+    batched;
+  (* a chained two-layer DAG (layer 1's output is layer 2's X) is
+     genuinely multi-node — argmin/argmax fuse into their producer, so
+     they do NOT leave the single-node fast path *)
+  let g2 =
+    fok
+      (P.compile
+         (Dsl.kernel ~name:"bt2"
+            ~decls:
+              [
+                Dsl.matrix "W0" ~rows:8 ~cols:64;
+                Dsl.vector "x" ~len:64;
+                Dsl.out_vector "h" ~len:8;
+                Dsl.matrix "W1" ~rows:4 ~cols:8;
+                Dsl.out_vector "y" ~len:4;
+              ]
+            [
+              Dsl.for_store ~iterations:8 ~out:"h" (Dsl.dot "W0" "x");
+              Dsl.for_store ~iterations:4 ~out:"y" (Dsl.dot "W1" "h");
+            ]))
+  in
+  check bool "multi-node graph does not claim the fast path" false
+    (fok (Pipeline.plan_for g2 ~batch:3)).Rt.single_node;
+  let b2_bindings () =
+    let rng = Rng.create 8102 in
+    let w0 =
+      Array.init 8 (fun _ ->
+          Array.init 64 (fun _ -> Rng.uniform rng ~lo:(-0.9) ~hi:0.9))
+    in
+    let w1 =
+      Array.init 4 (fun _ ->
+          Array.init 8 (fun _ -> Rng.uniform rng ~lo:(-0.9) ~hi:0.9))
+    in
+    let x = Array.init 64 (fun _ -> Rng.uniform rng ~lo:(-0.9) ~hi:0.9) in
+    let b = Rt.bindings () in
+    Rt.bind_matrix b "W0" w0;
+    Rt.bind_matrix b "W1" w1;
+    Rt.bind_vector b "x" x;
+    b
+  in
+  let b2 = fok (Rt.run_batch ~machine:(bt_machine g2) g2 (b2_bindings ()) ~batch:2) in
+  let m2 = bt_machine g2 in
+  let s2 =
+    Array.init 2 (fun _ -> fok (Rt.run ~machine:m2 g2 (b2_bindings ())))
+  in
+  Array.iteri
+    (fun d r ->
+      check bool
+        (Printf.sprintf "multi-node decision %d identical" d)
+        true
+        (outputs_of r = outputs_of s2.(d)))
+    b2
+
+(* ------------------------------------------------------------------ *)
+(* Launch-shape-keyed batch plans in the compilation cache              *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_cache_keying () =
+  let g = fok (P.compile bt_kernel) in
+  Cache.clear ();
+  let s0 = Cache.stats () in
+  let p1 = fok (Pipeline.plan_for g ~batch:1) in
+  let s1 = Cache.stats () in
+  check int "batch 1 plan misses" (s0.Cache.misses + 1) s1.Cache.misses;
+  let p8 = fok (Pipeline.plan_for g ~batch:8) in
+  let s2 = Cache.stats () in
+  check int "batch 8 is a different key: misses again" (s1.Cache.misses + 1)
+    s2.Cache.misses;
+  check int "two plan entries" (s0.Cache.entries + 2) s2.Cache.entries;
+  let p8' = fok (Pipeline.plan_for g ~batch:8) in
+  let s3 = Cache.stats () in
+  check int "batch 8 replay hits" (s2.Cache.hits + 1) s3.Cache.hits;
+  check int "a hit adds no entry" s2.Cache.entries s3.Cache.entries;
+  check bool "cached plan is the stored one" true (p8 = p8');
+  check int "plans carry their batch" 1 p1.Rt.batch;
+  check int "plans carry their batch (8)" 8 p8.Rt.batch;
+  (* a stale single-decision plan forced past the cache is rejected
+     with a typed error, never silently reused for a batched launch *)
+  match
+    Rt.run_batch ~plan:p1 ~machine:(bt_machine g) g (bt_bindings ()) ~batch:8
+  with
+  | Error e -> check bool "typed Invalid_operand" true (e.E.code = E.Invalid_operand)
+  | Ok _ -> Alcotest.fail "stale batch plan was accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Typed validation of --batch / PROMISE_BATCH                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_env name value f =
+  let old = try Some (Sys.getenv name) with Not_found -> None in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value old ~default:""))
+    f
+
+let test_batch_validation () =
+  (* machine layer *)
+  let c = serving_case 0 in
+  let launch = launch_of c (task_of c) in
+  (match Machine.execute_batch (machine_of c) launch ~batch:0 with
+  | Error e -> check bool "machine rejects batch 0" true (e.E.code = E.Invalid_operand)
+  | Ok _ -> Alcotest.fail "machine accepted batch 0");
+  (* runtime layer *)
+  let g = fok (P.compile bt_kernel) in
+  (match Rt.run_batch g (bt_bindings ()) ~batch:(-2) with
+  | Error e -> check bool "runtime rejects batch -2" true (e.E.code = E.Invalid_operand)
+  | Ok _ -> Alcotest.fail "runtime accepted batch -2");
+  (* pipeline layer *)
+  (match Pipeline.plan_for g ~batch:0 with
+  | Error e -> check bool "pipeline rejects batch 0" true (e.E.code = E.Invalid_operand)
+  | Ok _ -> Alcotest.fail "pipeline accepted batch 0");
+  (* environment *)
+  List.iter
+    (fun bad ->
+      with_env "PROMISE_BATCH" bad (fun () ->
+          (match P.Validate.env_int ~name:"PROMISE_BATCH" ~min:1 ~max:4096 with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "PROMISE_BATCH=%s validated" bad);
+          match P.check_env () with
+          | Error _ -> ()
+          | Ok () -> Alcotest.failf "check_env accepted PROMISE_BATCH=%s" bad))
+    [ "0"; "-3"; "abc"; "4097" ];
+  with_env "PROMISE_BATCH" "16" (fun () ->
+      check bool "PROMISE_BATCH=16 validates" true
+        (P.Validate.env_int ~name:"PROMISE_BATCH" ~min:1 ~max:4096
+        = Ok (Some 16));
+      check bool "check_env accepts 16" true (P.check_env () = Ok ()));
+  with_env "PROMISE_BATCH" "" (fun () ->
+      check bool "unset reads as None" true
+        (P.Validate.env_int ~name:"PROMISE_BATCH" ~min:1 ~max:4096 = Ok None))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest qcheck_batched_eq_singles;
+          Alcotest.test_case "ragged chained batches are stream-continuous"
+            `Quick test_ragged_chained;
+          Alcotest.test_case "pooled batch is bit-identical" `Quick
+            test_batched_pooled;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "execute_batch_into is bitwise the emission \
+                              stream" `Quick test_into_bitwise;
+          Alcotest.test_case "steady state allocates < 1 word/task" `Quick
+            test_into_zero_alloc;
+          Alcotest.test_case "batch trace carries pipelined timing" `Quick
+            test_batch_trace_timing;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "discrete-event batch matches closed form"
+            `Quick test_scheduler_closed_form;
+        ] );
+      ( "program+runtime",
+        [
+          Alcotest.test_case "run_program_batch == N run_program" `Quick
+            test_run_program_batch;
+          Alcotest.test_case "Runtime.run_batch == N Runtime.run" `Quick
+            test_runtime_batch;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "plans are keyed on (graph, batch)" `Quick
+            test_plan_cache_keying;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "--batch / PROMISE_BATCH typed errors" `Quick
+            test_batch_validation;
+        ] );
+    ]

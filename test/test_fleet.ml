@@ -513,6 +513,46 @@ let test_campaign_fleet_matches_plain () =
       check int "no quarantine" 0 summary.Fleet.quarantined
   | _ -> fail "expected completion"
 
+(* Chaos kill-one at batch 8: a fleet that loses a worker mid-run must
+   produce cells byte-identical to the uninterrupted in-process batched
+   campaign (the shard checkpoint digest folds the batch width in, so
+   the restarted worker re-executes at the same width). *)
+let test_campaign_fleet_batch_chaos () =
+  let scenarios = [ List.hd (P.Campaign.quick_scenarios ()) ] in
+  let benchmarks = [ P.Benchmarks.matched_filter () ] in
+  let batch = 8 in
+  let plain = P.Campaign.run_cells ~batch ~scenarios ~benchmarks () in
+  let buf = Buffer.create 256 in
+  let inc = Inc.to_buffer buf in
+  let cfg =
+    fleet_config ~workers:2 ~chaos:Fleet.Kill_one ~incidents:inc ()
+  in
+  match
+    P.Campaign.run_cells_fleet ~batch cfg ~shards:2 ~scenarios ~benchmarks ()
+  with
+  | P.Campaign.Fleet_completed (results, summary) ->
+      check int "same cell count" (List.length plain) (List.length results);
+      List.iter2
+        (fun (c : P.Campaign.cell) (r : P.Campaign.cell_result) ->
+          check bool "batched cell identical despite the kill" true
+            (get_ok r.P.Campaign.r_cell = c))
+        plain results;
+      check int "nothing quarantined" 0 summary.Fleet.quarantined;
+      check int "exactly one chaos kill" 1
+        (count_substring ~needle:"\"kind\":\"chaos\"" (Buffer.contents buf))
+  | _ -> fail "expected completion"
+
+(* A checkpoint written at one batch width must be a stale checkpoint
+   at another: the campaign folds the width into the config digest. *)
+let test_campaign_digest_includes_batch () =
+  let scenarios = [ List.hd (P.Campaign.quick_scenarios ()) ] in
+  let benchmarks = [ P.Benchmarks.matched_filter () ] in
+  let d1 = P.Campaign.config_digest ~batch:1 ~scenarios ~benchmarks () in
+  let d8 = P.Campaign.config_digest ~batch:8 ~scenarios ~benchmarks () in
+  let d1' = P.Campaign.config_digest ~scenarios ~benchmarks () in
+  check bool "batch 1 and 8 digests differ" true (d1 <> d8);
+  check string "batch defaults to 1" d1 d1'
+
 let () =
   run "promise-fleet"
     [
@@ -567,5 +607,9 @@ let () =
         [
           test_case "fleet campaign = in-process campaign" `Slow
             test_campaign_fleet_matches_plain;
+          test_case "chaos kill-one at batch 8 = uninterrupted batch 8"
+            `Slow test_campaign_fleet_batch_chaos;
+          test_case "config digest folds the batch width in" `Quick
+            test_campaign_digest_includes_batch;
         ] );
     ]
