@@ -9,6 +9,10 @@ module Dsl = P.Ir.Dsl
 
 let ppf = Format.std_formatter
 
+(* Every elapsed interval below is measured on the monotonic clock —
+   an NTP step mid-run must not corrupt a reported duration. *)
+let now_s () = Int64.to_float (P.Clock.monotonic_ns ()) *. 1e-9
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
@@ -140,9 +144,9 @@ let run_parallel_bench ~jobs:requested =
   let benchmarks = [ P.Benchmarks.matched_filter () ] in
   let run ~jobs =
     P.Pool.with_pool ~jobs (fun pool ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = now_s () in
         let cells = P.Campaign.run_cells ~pool ~scenarios ~benchmarks () in
-        (cells, Unix.gettimeofday () -. t0))
+        (cells, now_s () -. t0))
   in
   ignore (run ~jobs:1);
   let cells1, t1 = run ~jobs:1 in
@@ -233,22 +237,22 @@ let run_kernels_bench ~quick =
     ignore (run ());
     let outputs = ref [] in
     let minor0 = Gc.minor_words () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = now_s () in
     for _ = 1 to reps do
       List.iter
         (fun r -> outputs := r.P.Arch.Machine.emitted :: !outputs)
         (run ())
     done;
-    let seconds = ref (Unix.gettimeofday () -. t0) in
+    let seconds = ref (now_s () -. t0) in
     let minor = Gc.minor_words () -. minor0 in
     (* best of three timed windows: the replay is deterministic, so
        window-to-window variation is scheduler noise, not workload *)
     for _ = 1 to 2 do
-      let t0 = Unix.gettimeofday () in
+      let t0 = now_s () in
       for _ = 1 to reps do
         ignore (run ())
       done;
-      let s = Unix.gettimeofday () -. t0 in
+      let s = now_s () -. t0 in
       if s < !seconds then seconds := s
     done;
     let total = float_of_int (reps * n_tasks) in
@@ -329,9 +333,9 @@ let run_batch_bench ~quick ~batch =
   in
   let measure f =
     let minor0 = Gc.minor_words () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = now_s () in
     let v = f () in
-    let seconds = Unix.gettimeofday () -. t0 in
+    let seconds = now_s () -. t0 in
     let minor = Gc.minor_words () -. minor0 in
     let tasks = float_of_int (decisions * n_tasks) in
     (v, seconds, tasks /. seconds, minor /. tasks)

@@ -1,0 +1,569 @@
+(* promise-serve: the batched inference daemon and its self-test load
+   generator.
+
+   Three mutually-exclusive entry points:
+
+   --listen PATH     serve Ipc-framed requests on a Unix socket through
+                     the admission-controlled coalescing engine
+                     (Promise.Serve): bounded queue, flush at
+                     --batch-max or --flush-us, per-request --deadline-ms
+                     watchdog, per-bank pool affinity via --jobs.
+   --probe PATH      client smoke: pipeline --requests requests for
+                     --model on one connection and account the answers.
+   --selftest-load   drive the engine in-process in Batched and Single
+                     mode over bit-for-bit twin models, verify the
+                     response streams are identical, and measure
+                     requests/sec, p50/p95/p99 latency, queue depth and
+                     the batch-size histogram (--bench BENCH_serve.json).
+
+   Usage: promise_serve (--listen P | --probe P | --selftest-load)
+            [--models A,B] [--model M] [--requests N] [--max-requests N]
+            [--queue N] [--batch-max N] [--flush-us U] [--deadline-ms T]
+            [--jobs J] [--mode batched|single] [--load closed:N|open:R]
+            [--seed S] [--noise SEED] [--cache-capacity N]
+            [--connect-timeout-ms T] [--incidents FILE] [--bench FILE] *)
+
+module P = Promise
+open Cmdliner
+
+let () = Printexc.record_backtrace true
+
+let validated_int ~what ~min ~max =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.int_in_range ~what ~min ~max s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      Format.pp_print_int )
+
+let validated_float_ms ~what =
+  Arg.conv
+    ( (fun s ->
+        match P.Validate.non_negative_float ~what s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg (P.Error.to_string e))),
+      (fun ppf v -> Format.fprintf ppf "%g" v) )
+
+(* ------------------------------------------------------------------ *)
+(* Model registry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let known_models =
+  [
+    ("matched_filter", P.Benchmarks.matched_filter);
+    ("template_l1", P.Benchmarks.template_l1);
+    ("template_l2", P.Benchmarks.template_l2);
+    ("svm", P.Benchmarks.svm);
+    ("knn_l1", P.Benchmarks.knn_l1);
+    ("knn_l2", P.Benchmarks.knn_l2);
+    ("pca", P.Benchmarks.pca);
+    ("linreg", P.Benchmarks.linreg);
+  ]
+
+let model_names = String.concat ", " (List.map fst known_models)
+
+let benchmark_of_name name =
+  match List.assoc_opt name known_models with
+  | Some mk -> Ok (mk ())
+  | None ->
+      Error
+        (Printf.sprintf "unknown model %S (expected one of: %s)" name
+           model_names)
+
+let models_of_names ~noise_seed names =
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Error _ as e -> e
+      | Ok ms -> (
+          match benchmark_of_name name with
+          | Error _ as e -> e
+          | Ok b -> Ok (P.Serve.model_of_benchmark ~name ~noise_seed b :: ms)))
+    (Ok []) names
+  |> Result.map List.rev
+
+let mode_conv =
+  Arg.conv
+    ( (fun s ->
+        match s with
+        | "batched" -> Ok P.Serve.Batched
+        | "single" -> Ok P.Serve.Single
+        | _ -> Error (`Msg "--mode accepts: batched, single")),
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with P.Serve.Batched -> "batched" | P.Serve.Single -> "single")
+    )
+
+let load_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.split_on_char ':' s with
+        | [ "closed"; n ] -> (
+            match P.Validate.int_in_range ~what:"--load closed" ~min:1
+                    ~max:4096 n
+            with
+            | Ok v -> Ok (P.Serve.Closed_loop v)
+            | Error e -> Error (`Msg (P.Error.to_string e)))
+        | [ "open"; r ] -> (
+            match float_of_string_opt r with
+            | Some v when v > 0.0 -> Ok (P.Serve.Open_loop v)
+            | _ -> Error (`Msg "--load open:RATE needs a positive rate"))
+        | _ -> Error (`Msg "--load accepts: closed:CONCURRENCY or open:RATE")),
+      fun ppf l ->
+        match l with
+        | P.Serve.Closed_loop n -> Format.fprintf ppf "closed:%d" n
+        | P.Serve.Open_loop r -> Format.fprintf ppf "open:%g" r )
+
+let exit_code_of_signal stop =
+  match P.Supervisor.stop_signal stop with
+  | Some s when s = Sys.sigterm -> 143
+  | Some s when s = Sys.sigint -> 130
+  | _ -> 130
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_serve.json                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let report_json oc tag (r : P.Serve.load_report) =
+  Printf.fprintf oc
+    "  \"%s\": {\n\
+    \    \"served\": %d,\n\
+    \    \"rejected\": %d,\n\
+    \    \"timeouts\": %d,\n\
+    \    \"failures\": %d,\n\
+    \    \"seconds\": %.6f,\n\
+    \    \"requests_per_sec\": %.1f,\n\
+    \    \"p50_ms\": %.3f,\n\
+    \    \"p95_ms\": %.3f,\n\
+    \    \"p99_ms\": %.3f,\n\
+    \    \"mean_batch\": %.2f,\n\
+    \    \"max_batch\": %.0f,\n\
+    \    \"max_queue_depth\": %d,\n\
+    \    \"batch_hist\": [%s],\n\
+    \    \"digest\": \"%s\"\n\
+    \  }"
+    tag r.P.Serve.l_served r.P.Serve.l_rejected r.P.Serve.l_timeouts
+    r.P.Serve.l_failures r.P.Serve.l_seconds r.P.Serve.l_rps r.P.Serve.l_p50_ms
+    r.P.Serve.l_p95_ms r.P.Serve.l_p99_ms r.P.Serve.l_mean_batch
+    r.P.Serve.l_max_batch
+    r.P.Serve.l_max_queue_depth
+    (String.concat ", "
+       (List.map
+          (fun (size, count) -> Printf.sprintf "[%.0f, %d]" size count)
+          r.P.Serve.l_batch_hist))
+    r.P.Serve.l_digest
+
+let write_bench path ~model ~requests ~queue ~batch_max ~flush_us ~load
+    ~noiseless ~identical (batched : P.Serve.load_report)
+    (single : P.Serve.load_report) =
+  let oc = open_out path in
+  let speedup =
+    if single.P.Serve.l_rps > 0.0 then
+      batched.P.Serve.l_rps /. single.P.Serve.l_rps
+    else 0.0
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"serve\",\n\
+    \  \"model\": \"%s\",\n\
+    \  \"requests\": %d,\n\
+    \  \"queue\": %d,\n\
+    \  \"batch_max\": %d,\n\
+    \  \"flush_us\": %d,\n\
+    \  \"load\": \"%s\",\n\
+    \  \"noiseless\": %b,\n\
+    \  \"identical_output\": %b,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"note\": \"noiseless serving models by default; noisy Monte-Carlo \
+     batches amortize less (see BENCH_batch.json)\",\n"
+    model requests queue batch_max flush_us load noiseless identical speedup;
+  report_json oc "batched" batched;
+  Printf.fprintf oc ",\n";
+  report_json oc "single" single;
+  Printf.fprintf oc "\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_incidents path f =
+  match path with
+  | None -> f P.Incident.null
+  | Some p -> (
+      match P.Incident.to_file p with
+      | Error e -> `Error (false, P.Error.to_string e)
+      | Ok incidents ->
+          let r = f incidents in
+          P.Incident.close incidents;
+          r)
+
+let run_daemon ~listen ~models ~noise ~max_requests ~queue ~batch_max
+    ~flush_us ~deadline_ms ~jobs ~mode ~incidents_path =
+  with_incidents incidents_path (fun incidents ->
+      match models_of_names ~noise_seed:noise models with
+      | Error msg -> `Error (false, msg)
+      | Ok ms -> (
+          let stop = P.Supervisor.install_stop_signals () in
+          Format.eprintf "serve: listening on %s (models: %s)@." listen
+            (String.concat ", " (List.map P.Serve.model_name ms));
+          let go pool =
+            P.Serve.daemon ~max_requests ~incidents ?pool ?deadline_ms ~mode
+              ~queue ~batch_max ~flush_us ~listen ~stop ms
+          in
+          let result =
+            if jobs > 1 then
+              P.Pool.with_pool ~jobs (fun pool -> go (Some pool))
+            else go None
+          in
+          match result with
+          | Error e -> `Error (false, P.Error.to_string e)
+          | Ok summary ->
+              Format.eprintf "serve: done — %d responses, %d batches@."
+                summary.P.Serve.d_completed
+                summary.P.Serve.d_stats.P.Serve.batches;
+              if P.Supervisor.stop_requested stop then
+                Stdlib.exit (exit_code_of_signal stop);
+              `Ok ()))
+
+let run_probe ~path ~model ~requests ~connect_timeout_ms =
+  match
+    P.Serve.probe ~connect_timeout_ms ~requests ~path ~model ()
+  with
+  | Error e -> `Error (false, P.Error.to_string e)
+  | Ok s ->
+      Printf.printf "probe: sent=%d ok=%d rejected=%d\n" s.P.Serve.p_sent
+        s.P.Serve.p_ok s.P.Serve.p_rejected;
+      Format.eprintf "probe: max coalesced batch %d@." s.P.Serve.p_max_batch;
+      if s.P.Serve.p_ok = 0 then `Error (false, "no request succeeded")
+      else `Ok ()
+
+let run_selftest ~model ~noise ~requests ~repeats ~queue ~batch_max ~flush_us
+    ~deadline_ms ~jobs ~load ~seed ~incidents_path ~bench_path =
+  with_incidents incidents_path (fun incidents ->
+      match benchmark_of_name model with
+      | Error msg -> `Error (false, msg)
+      | Ok b -> (
+          let thunk () =
+            P.Serve.model_of_benchmark ~name:model ~noise_seed:noise b
+          in
+          let run_once mode =
+            P.Serve.load_run ~seed ~jobs ~incidents ?deadline_ms ~mode ~queue
+              ~batch_max ~flush_us ~requests ~load ~model:thunk ()
+          in
+          (* best-of-N per mode: throughput is compared at each mode's
+             least-noisy repetition, and every repetition must produce
+             the same digest — the identity contract has no variance *)
+          let run mode =
+            let rec go best k =
+              if k = 0 then best
+              else
+                match (run_once mode, best) with
+                | (Error _ as e), _ -> e
+                | Ok r, Ok prev ->
+                    if not (String.equal r.P.Serve.l_digest prev.P.Serve.l_digest)
+                    then
+                      P.Error.fail ~layer:"serve"
+                        "two repetitions of the same load disagree — the \
+                         digest must not depend on timing"
+                    else
+                      go
+                        (Ok
+                           (if r.P.Serve.l_rps > prev.P.Serve.l_rps then r
+                            else prev))
+                        (k - 1)
+                | Ok r, Error _ -> go (Ok r) (k - 1)
+            in
+            match run_once mode with
+            | Error _ as e -> e
+            | Ok first -> go (Ok first) (repeats - 1)
+          in
+          let load_str =
+            Format.asprintf "%a" (Arg.conv_printer load_conv) load
+          in
+          Printf.printf "serve selftest: model=%s requests=%d load=%s\n" model
+            requests load_str;
+          match run P.Serve.Batched with
+          | Error e -> `Error (false, P.Error.to_string e)
+          | Ok batched -> (
+              match run P.Serve.Single with
+              | Error e -> `Error (false, P.Error.to_string e)
+              | Ok single ->
+                  let print tag (r : P.Serve.load_report) =
+                    Printf.printf
+                      "%s: served=%d rejected=%d timeouts=%d failures=%d\n"
+                      tag r.P.Serve.l_served r.P.Serve.l_rejected
+                      r.P.Serve.l_timeouts r.P.Serve.l_failures;
+                    Format.eprintf
+                      "%s: %.1f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f \
+                       ms, mean batch %.2f, max queue depth %d@."
+                      tag r.P.Serve.l_rps r.P.Serve.l_p50_ms
+                      r.P.Serve.l_p95_ms r.P.Serve.l_p99_ms
+                      r.P.Serve.l_mean_batch r.P.Serve.l_max_queue_depth
+                  in
+                  print "batched" batched;
+                  print "single" single;
+                  let identical =
+                    String.equal batched.P.Serve.l_digest
+                      single.P.Serve.l_digest
+                  in
+                  Printf.printf "identical_output=%b\n" identical;
+                  if single.P.Serve.l_rps > 0.0 then
+                    Format.eprintf "coalescing speedup: %.2fx@."
+                      (batched.P.Serve.l_rps /. single.P.Serve.l_rps);
+                  Option.iter
+                    (fun p ->
+                      write_bench p ~model ~requests ~queue ~batch_max
+                        ~flush_us ~load:load_str
+                        ~noiseless:(noise = None) ~identical batched single)
+                    bench_path;
+                  if not identical then
+                    `Error
+                      ( false,
+                        "batched and single response streams differ — the \
+                         bit-identity contract is broken" )
+                  else `Ok ())))
+
+let run listen probe selftest models model noise max_requests requests repeats
+    queue batch_max flush_us deadline_ms jobs mode load seed cache_capacity
+    connect_timeout_ms incidents_path bench_path =
+  match P.check_env () with
+  | Error e -> `Error (false, P.Error.to_string e)
+  | Ok () -> (
+      Option.iter
+        (fun n -> P.Compiler.Pipeline.Cache.set_capacity (Some n))
+        cache_capacity;
+      match (listen, probe, selftest) with
+      | Some listen, None, false ->
+          run_daemon ~listen ~models ~noise ~max_requests ~queue ~batch_max
+            ~flush_us ~deadline_ms ~jobs ~mode ~incidents_path
+      | None, Some path, false ->
+          let requests = if requests = 0 then 8 else requests in
+          run_probe ~path ~model ~requests ~connect_timeout_ms
+      | None, None, true ->
+          let requests = if requests = 0 then 512 else requests in
+          run_selftest ~model ~noise ~requests ~repeats ~queue ~batch_max
+            ~flush_us ~deadline_ms ~jobs ~load ~seed ~incidents_path
+            ~bench_path
+      | _ ->
+          `Error
+            ( false,
+              "pick exactly one of --listen PATH, --probe PATH, \
+               --selftest-load" ))
+
+(* ------------------------------------------------------------------ *)
+(* Arguments                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"PATH"
+        ~doc:"Serve requests on the Unix-domain socket $(docv).")
+
+let probe_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "probe" ] ~docv:"PATH"
+        ~doc:
+          "Connect to a daemon at $(docv) (retrying until \
+           --connect-timeout-ms) and pipeline --requests requests.")
+
+let selftest_arg =
+  Arg.(
+    value & flag
+    & info [ "selftest-load" ]
+        ~doc:
+          "Drive the engine in-process in batched and single mode over twin \
+           models, verify bit-identical response streams, and measure \
+           throughput and latency percentiles.")
+
+let models_arg =
+  Arg.(
+    value
+    & opt (list string) [ "matched_filter" ]
+    & info [ "models" ] ~docv:"NAMES"
+        ~doc:
+          (Printf.sprintf
+             "Comma-separated models the daemon serves (known: %s)."
+             model_names))
+
+let model_arg =
+  Arg.(
+    value
+    & opt string "matched_filter"
+    & info [ "model" ] ~docv:"NAME"
+        ~doc:"The model --probe and --selftest-load request.")
+
+let noise_arg =
+  Arg.(
+    value
+    & opt (some (validated_int ~what:"--noise" ~min:0 ~max:max_int)) None
+    & info [ "noise" ] ~docv:"SEED"
+        ~doc:
+          "Seed the analog noise streams (Monte-Carlo serving). Default: \
+           noiseless, deterministic models.")
+
+let max_requests_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--max-requests" ~min:0 ~max:max_int) 0
+    & info [ "max-requests" ] ~docv:"N"
+        ~doc:
+          "Daemon: exit after $(docv) responses (0 = serve until \
+           SIGINT/SIGTERM). The drain still flushes pending batches.")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--requests" ~min:0 ~max:10_000_000) 0
+    & info [ "requests" ] ~docv:"N"
+        ~doc:
+          "Requests to issue (default: 8 for --probe, 512 for \
+           --selftest-load).")
+
+let repeats_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--repeats" ~min:1 ~max:100) 1
+    & info [ "repeats" ] ~docv:"K"
+        ~doc:
+          "Selftest: run each mode $(docv) times and score its best \
+           repetition — machine noise (GC pauses, frequency scaling) hits \
+           at most one of them. Every repetition must produce the same \
+           digest.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt
+        (validated_int ~what:"--queue" ~min:1 ~max:1_048_576)
+        (P.Serve.default_queue ())
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission-queue capacity; a full queue rejects with a typed \
+           Capacity error (default $(b,PROMISE_SERVE_QUEUE) or 256).")
+
+let batch_max_arg =
+  Arg.(
+    value
+    & opt
+        (validated_int ~what:"--batch-max" ~min:1 ~max:4096)
+        (P.Serve.default_batch_max ())
+    & info [ "batch-max" ] ~docv:"N"
+        ~doc:
+          "Flush a model's pending set at $(docv) coalesced decisions \
+           (default $(b,PROMISE_SERVE_BATCH) or 64).")
+
+let flush_us_arg =
+  Arg.(
+    value
+    & opt
+        (validated_int ~what:"--flush-us" ~min:1 ~max:10_000_000)
+        (P.Serve.default_flush_us ())
+    & info [ "flush-us" ] ~docv:"U"
+        ~doc:
+          "Flush a pending set once its oldest request has waited $(docv) \
+           microseconds (default $(b,PROMISE_SERVE_FLUSH_US) or 2000).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some (validated_float_ms ~what:"--deadline-ms")) None
+    & info [ "deadline-ms" ] ~docv:"T"
+        ~doc:
+          "Per-request watchdog: a request undispatched $(docv) ms after \
+           admission is answered with a typed Timeout. Off by default.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--jobs" ~min:1 ~max:64) 1
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~doc:
+          "Domain pool fanning multi-bank groups out bank-major \
+           (bit-identical at any job count).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv P.Serve.Batched
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Daemon dispatch mode: $(b,batched) (coalesced) or $(b,single) \
+           (one decision per dispatch; the comparison baseline).")
+
+let load_arg =
+  Arg.(
+    value
+    & opt load_conv (P.Serve.Closed_loop 64)
+    & info [ "load" ] ~docv:"SPEC"
+        ~doc:
+          "Selftest arrival process: $(b,closed:N) keeps N requests \
+           outstanding; $(b,open:R) draws seeded Poisson arrivals at R \
+           requests/sec (overload exercises admission rejection).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (validated_int ~what:"--seed" ~min:0 ~max:max_int) 0
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Seed of the open-loop inter-arrival stream.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt (some (validated_int ~what:"--cache-capacity" ~min:1 ~max:max_int))
+        None
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:
+          "Bound each compilation-cache table to $(docv) entries with LRU \
+           eviction (a long-lived daemon should set this; evicted models \
+           recompile on their next request). Default: unbounded.")
+
+let connect_timeout_arg =
+  Arg.(
+    value
+    & opt (validated_float_ms ~what:"--connect-timeout-ms") 10_000.0
+    & info [ "connect-timeout-ms" ] ~docv:"T"
+        ~doc:"--probe: keep retrying the connect for $(docv) ms.")
+
+let incidents_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incidents" ] ~docv:"FILE"
+        ~doc:
+          "Append a JSONL incident log (admission rejections, watchdog \
+           timeouts, dispatch failures) to $(docv).")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"FILE"
+        ~doc:
+          "Selftest: write throughput/latency/batch-histogram JSON to \
+           $(docv) (the BENCH_serve.json artifact).")
+
+let () =
+  let info =
+    Cmd.info "promise-serve" ~version:P.version
+      ~doc:
+        "batched inference serving: admission control, request coalescing, \
+         deadline flush, per-request watchdogs, and a measuring self-test \
+         load generator"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            ret
+              (const run $ listen_arg $ probe_arg $ selftest_arg $ models_arg
+             $ model_arg $ noise_arg $ max_requests_arg $ requests_arg
+             $ repeats_arg $ queue_arg $ batch_max_arg $ flush_us_arg
+             $ deadline_arg
+             $ jobs_arg $ mode_arg $ load_arg $ seed_arg $ cache_capacity_arg
+             $ connect_timeout_arg $ incidents_arg $ bench_arg))))

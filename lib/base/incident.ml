@@ -13,6 +13,7 @@ type kind =
   | Worker_death
   | Shard_done
   | Chaos
+  | Admission_reject
 
 let kind_name = function
   | Timeout -> "timeout"
@@ -29,6 +30,7 @@ let kind_name = function
   | Worker_death -> "worker-death"
   | Shard_done -> "shard-done"
   | Chaos -> "chaos"
+  | Admission_reject -> "admission-reject"
 
 type sink =
   | Null

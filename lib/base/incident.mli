@@ -29,6 +29,8 @@ type kind =
   | Worker_death  (** a worker exited, was signaled, or was killed *)
   | Shard_done  (** a fleet shard completed (with timing) *)
   | Chaos  (** the chaos self-test deliberately killed a worker *)
+  | Admission_reject
+      (** the serving layer's bounded queue refused a request *)
 
 val kind_name : kind -> string
 

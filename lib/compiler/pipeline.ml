@@ -11,23 +11,40 @@ module Cache = struct
      optimization parameters are pure data), so a cache hit means "same
      compilation problem" regardless of which sweep asked.  Only [Ok]
      results are stored; errors always recompute.  A single mutex
-     guards both tables — compilation results are coarse enough that
-     contention is irrelevant next to simulation cost. *)
+     guards all tables — compilation results are coarse enough that
+     contention is irrelevant next to simulation cost.
 
-  type stats = { hits : int; misses : int; entries : int }
+     The cache is optionally bounded: a long-lived serving daemon
+     compiles an open-ended stream of models, so without a bound the
+     tables grow monotonically for the life of the process.  With
+     [set_capacity (Some n)], each table keeps at most [n] entries and
+     evicts its least-recently-used one on insert (every hit refreshes
+     recency); an evicted model simply recompiles on its next use —
+     correctness never depends on residency. *)
+
+  type stats = { hits : int; misses : int; entries : int; evictions : int }
 
   let lock = Mutex.create ()
   let enabled = ref true
   let hits = ref 0
   let misses = ref 0
+  let evictions = ref 0
 
-  let frontend_tbl : (string, Promise_ir.Graph.t) Hashtbl.t =
+  let capacity_ref : int option ref = ref None
+
+  (* LRU recency: a global monotonic tick; each entry stores the tick
+     of its last hit/insert, and eviction scans for the minimum.  The
+     scan is O(table size), bounded by the capacity itself — trivial
+     next to a compilation. *)
+  let tick = ref 0
+
+  let frontend_tbl : (string, Promise_ir.Graph.t * int ref) Hashtbl.t =
     Hashtbl.create 64
 
-  let optimize_tbl : (string, Promise_ir.Graph.t * int) Hashtbl.t =
+  let optimize_tbl : (string, (Promise_ir.Graph.t * int) * int ref) Hashtbl.t =
     Hashtbl.create 64
 
-  let codegen_tbl : (string, Promise_isa.Program.t) Hashtbl.t =
+  let codegen_tbl : (string, Promise_isa.Program.t * int ref) Hashtbl.t =
     Hashtbl.create 64
 
   (* Batched dispatch plans are launch-shape-dependent artifacts: the
@@ -35,12 +52,22 @@ module Cache = struct
      single-decision execution can never be served to a batched launch
      (and vice versa) — the runtime additionally rejects a mismatched
      plan with a typed error if one is forced past the cache. *)
-  let plan_tbl : (string, Runtime.batch_plan) Hashtbl.t = Hashtbl.create 64
+  let plan_tbl : (string, Runtime.batch_plan * int ref) Hashtbl.t =
+    Hashtbl.create 64
 
   let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 
   let set_enabled b = Mutex.protect lock (fun () -> enabled := b)
   let is_enabled () = Mutex.protect lock (fun () -> !enabled)
+
+  let set_capacity c =
+    (match c with
+    | Some n when n < 1 ->
+        invalid_arg "Pipeline.Cache.set_capacity: capacity must be >= 1"
+    | _ -> ());
+    Mutex.protect lock (fun () -> capacity_ref := c)
+
+  let capacity () = Mutex.protect lock (fun () -> !capacity_ref)
 
   let clear () =
     Mutex.protect lock (fun () ->
@@ -49,19 +76,36 @@ module Cache = struct
         Hashtbl.reset codegen_tbl;
         Hashtbl.reset plan_tbl;
         hits := 0;
-        misses := 0)
+        misses := 0;
+        evictions := 0)
 
   let stats () =
     Mutex.protect lock (fun () ->
         {
           hits = !hits;
           misses = !misses;
+          evictions = !evictions;
           entries =
             Hashtbl.length frontend_tbl
             + Hashtbl.length optimize_tbl
             + Hashtbl.length codegen_tbl
             + Hashtbl.length plan_tbl;
         })
+
+  (* Must be called with [lock] held. *)
+  let evict_lru tbl =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key (_, last) ->
+        match !victim with
+        | Some (_, best) when !last >= best -> ()
+        | _ -> victim := Some (key, !last))
+      tbl;
+    match !victim with
+    | Some (key, _) ->
+        Hashtbl.remove tbl key;
+        incr evictions
+    | None -> ()
 
   (* [memo tbl key f] — serve [Ok] from [tbl], else compute.  The
      compute runs outside the lock: two domains racing on the same cold
@@ -72,8 +116,10 @@ module Cache = struct
           if not !enabled then None
           else
             match Hashtbl.find_opt tbl key with
-            | Some v ->
+            | Some (v, last) ->
                 incr hits;
+                incr tick;
+                last := !tick;
                 Some v
             | None ->
                 incr misses;
@@ -85,8 +131,16 @@ module Cache = struct
         match f () with
         | Ok v as ok ->
             Mutex.protect lock (fun () ->
-                if !enabled && not (Hashtbl.mem tbl key) then
-                  Hashtbl.add tbl key v);
+                if !enabled && not (Hashtbl.mem tbl key) then begin
+                  (match !capacity_ref with
+                  | Some cap ->
+                      while Hashtbl.length tbl >= cap do
+                        evict_lru tbl
+                      done
+                  | None -> ());
+                  incr tick;
+                  Hashtbl.add tbl key (v, ref !tick)
+                end);
             ok
         | Error _ as err -> err)
 end

@@ -11,17 +11,28 @@
     result instead of re-running lowering and swing optimization.
     Thread-safe; only successful results are cached. *)
 module Cache : sig
-  type stats = { hits : int; misses : int; entries : int }
+  type stats = { hits : int; misses : int; entries : int; evictions : int }
 
   val stats : unit -> stats
   val clear : unit -> unit
-  (** Drop every entry and zero the hit/miss counters. *)
+  (** Drop every entry and zero the hit/miss/eviction counters. *)
 
   val set_enabled : bool -> unit
   (** Default [true]; [set_enabled false] makes every stage recompute
       (and stops new insertions) until re-enabled. *)
 
   val is_enabled : unit -> bool
+
+  val set_capacity : int option -> unit
+  (** Bound each stage table to at most the given number of entries,
+      evicting the least-recently-used entry on insert (a hit counts
+      as use). [None] (the default) is unbounded — the historical
+      sweep behavior. A long-lived daemon should set a bound: evicted
+      models recompile on their next request, so correctness never
+      depends on residency. Raises [Invalid_argument] on [Some n] with
+      [n < 1]. *)
+
+  val capacity : unit -> int option
 end
 
 (** [compile kernel] — frontend + PROMISE pass: the IR graph with all

@@ -110,6 +110,8 @@ end
 module Error = Promise_core.Error
 module Diag = Promise_core.Diag
 module Pool = Promise_core.Pool
+module Queue_bounded = Promise_core.Queue_bounded
+module Histogram = Promise_core.Histogram
 module Quant = Promise_core.Quant
 module Clock = Promise_core.Clock
 module Retry = Promise_core.Retry
@@ -123,6 +125,7 @@ module Benchmarks = Benchmarks
 module Report = Report
 module Validation = Validation
 module Campaign = Campaign
+module Serve = Serve
 
 (** [compile kernel] — DSL → SSA → PROMISE pass → IR graph. *)
 let compile = Promise_compiler.Pipeline.compile
@@ -156,6 +159,15 @@ let check_env () =
            ~values:[ "fused"; "reference"; "ref"; "scalar" ]);
       Result.map ignore
         (Promise_core.Validate.env_int ~name:"PROMISE_BATCH" ~min:1 ~max:4096);
+      Result.map ignore
+        (Promise_core.Validate.env_int ~name:"PROMISE_SERVE_QUEUE" ~min:1
+           ~max:1_048_576);
+      Result.map ignore
+        (Promise_core.Validate.env_int ~name:"PROMISE_SERVE_BATCH" ~min:1
+           ~max:4096);
+      Result.map ignore
+        (Promise_core.Validate.env_int ~name:"PROMISE_SERVE_FLUSH_US" ~min:1
+           ~max:10_000_000);
     ]
 
 (** [version]. *)

@@ -1,0 +1,846 @@
+module E = Promise_core.Error
+module Incident = Promise_core.Incident
+module Supervisor = Promise_core.Supervisor
+module Clock = Promise_core.Clock
+module Pool = Promise_core.Pool
+module Queue_bounded = Promise_core.Queue_bounded
+module Histogram = Promise_core.Histogram
+module Ipc = Promise_core.Ipc
+module Validate = Promise_core.Validate
+module Machine = Promise_arch.Machine
+module Rng = Promise_analog.Rng
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Models                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* How a flushed batch reaches the machine.  Probed on first dispatch:
+   single-task programs try the zero-allocation serving path
+   ([execute_batch_into]), which rejects unsupported launch shapes
+   BEFORE touching any machine or RNG state, so falling back to
+   [run_program_batch] is free and the choice sticks for the model's
+   lifetime. *)
+type plan =
+  | Unprobed
+  | Into of { launch : Machine.launch; epd : int; out : Rng.ba }
+  | Prog
+
+type model = {
+  m_name : string;
+  m_machine : Machine.t;
+  m_program : Promise_isa.Program.t;
+  mutable m_plan : plan;
+}
+
+(* The deterministic data image of bench/main.ml: every bank row and
+   X-REG slot filled from one seeded stream, so two models built from
+   the same seeds replay bit-identical decision streams. *)
+let fill_machine ~seed machine =
+  let lanes = Promise_arch.Params.lanes in
+  let rng = Rng.create seed in
+  let codes () = Array.init lanes (fun _ -> Rng.int rng 255 - 128) in
+  for bi = 0 to Machine.n_banks machine - 1 do
+    let bank = Machine.bank machine bi in
+    for row = 0 to 63 do
+      Promise_arch.Bitcell_array.write
+        (Promise_arch.Bank.array bank)
+        ~word_row:row (codes ())
+    done;
+    for i = 0 to Promise_arch.Params.xreg_depth - 1 do
+      Promise_arch.Xreg.load (Promise_arch.Bank.xreg bank) ~index:i (codes ())
+    done
+  done
+
+let model_of_benchmark ?name ?banks ?(noise_seed = None) ?(fill_seed = 7)
+    (b : Benchmarks.t) =
+  let banks =
+    match banks with Some n -> n | None -> max 1 b.Benchmarks.banks
+  in
+  let machine =
+    Machine.create
+      { Machine.banks; profile = Promise_arch.Bank.Silicon; noise_seed }
+  in
+  fill_machine ~seed:fill_seed machine;
+  {
+    m_name = Option.value name ~default:b.Benchmarks.name;
+    m_machine = machine;
+    m_program = b.Benchmarks.per_decision_program;
+    m_plan = Unprobed;
+  }
+
+let model_name m = m.m_name
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Batched | Single
+
+type reply = { values : float array; batch : int; wait_ns : int64 }
+
+type outcome = {
+  o_rid : int;
+  o_model : string;
+  o_result : (reply, E.t) result;
+}
+
+type pending = {
+  p_model : model;
+  mutable p_reqs : (int * int64) list;  (** (rid, arrival), newest first *)
+  mutable p_count : int;
+  mutable p_oldest : int64;
+}
+
+type t = {
+  clock : unit -> int64;
+  incidents : Incident.t;
+  pool : Pool.t option;
+  deadline_ms : float option;
+  mode : mode;
+  batch_max : int;
+  flush_ns : int64;
+  respond : outcome -> unit;
+  sup : Supervisor.config;
+  models : (string, model) Hashtbl.t;
+  inbox : (int * string * int64) Queue_bounded.t;
+  pending : (string, pending) Hashtbl.t;
+  mutable submitted : int;
+  mutable rejected_other : int;  (** unknown-model rejections *)
+  mutable served : int;
+  mutable timeouts : int;
+  mutable failures : int;
+  mutable batches : int;
+  latency : Histogram.t;
+  batch_sizes : Histogram.t;
+}
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  served : int;
+  timeouts : int;
+  failures : int;
+  batches : int;
+  queue : Queue_bounded.stats;
+  latency_ns : Histogram.t;
+  batch_sizes : Histogram.t;
+}
+
+let max_flush_us = 10_000_000
+
+let create ?(clock = Clock.monotonic_ns) ?(incidents = Incident.null) ?pool
+    ?deadline_ms ?(mode = Batched) ~queue ~batch_max ~flush_us ~respond models
+    =
+  let* () =
+    if batch_max < 1 || batch_max > 4096 then
+      E.fail ~layer:"serve" ~code:E.Invalid_operand
+        ~context:[ ("batch_max", string_of_int batch_max) ]
+        "batch_max out of range 1..4096"
+    else Ok ()
+  in
+  let* () =
+    if flush_us < 1 || flush_us > max_flush_us then
+      E.fail ~layer:"serve" ~code:E.Invalid_operand
+        ~context:[ ("flush_us", string_of_int flush_us) ]
+        (Printf.sprintf "flush_us out of range 1..%d" max_flush_us)
+    else Ok ()
+  in
+  let* () =
+    match models with
+    | [] ->
+        E.fail ~layer:"serve" ~code:E.Invalid_operand
+          "an engine needs at least one model"
+    | _ -> Ok ()
+  in
+  let* inbox = Queue_bounded.create ~capacity:queue in
+  let tbl = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc m ->
+        let* () = acc in
+        if Hashtbl.mem tbl m.m_name then
+          E.fail ~layer:"serve" ~code:E.Invalid_operand
+            ~context:[ ("model", m.m_name) ]
+            "duplicate model name"
+        else begin
+          Hashtbl.add tbl m.m_name m;
+          Ok ()
+        end)
+      (Ok ()) models
+  in
+  Ok
+    {
+      clock;
+      incidents;
+      pool;
+      deadline_ms;
+      mode;
+      batch_max;
+      flush_ns = Int64.of_int (flush_us * 1000);
+      respond;
+      sup = Supervisor.config ~incidents ~clock ();
+      models = tbl;
+      inbox;
+      pending = Hashtbl.create 16;
+      submitted = 0;
+      rejected_other = 0;
+      served = 0;
+      timeouts = 0;
+      failures = 0;
+      batches = 0;
+      latency = Histogram.create ();
+      batch_sizes = Histogram.create ();
+    }
+
+let stats t =
+  let q = Queue_bounded.stats t.inbox in
+  {
+    submitted = t.submitted;
+    rejected = q.Queue_bounded.rejected + t.rejected_other;
+    served = t.served;
+    timeouts = t.timeouts;
+    failures = t.failures;
+    batches = t.batches;
+    queue = q;
+    latency_ns = t.latency;
+    batch_sizes = t.batch_sizes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let submit t ~rid ~model =
+  if not (Hashtbl.mem t.models model) then begin
+    t.rejected_other <- t.rejected_other + 1;
+    Incident.record t.incidents Incident.Admission_reject
+      [ ("rid", string_of_int rid); ("model", model); ("reason", "unknown") ];
+    E.fail ~layer:"serve" ~code:E.Invalid_operand
+      ~context:[ ("model", model) ]
+      "unknown model"
+  end
+  else
+    match Queue_bounded.try_push t.inbox (rid, model, t.clock ()) with
+    | Ok () ->
+        t.submitted <- t.submitted + 1;
+        Ok ()
+    | Error e ->
+        Incident.record t.incidents Incident.Admission_reject
+          [
+            ("rid", string_of_int rid);
+            ("model", model);
+            ("reason", "queue-full");
+            ("depth", string_of_int (Queue_bounded.length t.inbox));
+          ];
+        Error e
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The decision's emission stream, the reply payload shared by every
+   dispatch path: output-buffer then accumulator emissions per task, in
+   task order.  [execute_batch_into] writes exactly this stream, so the
+   three paths are bitwise comparable. *)
+let values_of_results rs =
+  Array.of_list
+    (List.concat_map
+       (fun r -> r.Machine.emitted @ r.Machine.acc_out)
+       rs)
+
+let dispatch_single t m =
+  let* rs = Machine.run_program ?pool:t.pool m.m_machine m.m_program in
+  Ok (values_of_results rs)
+
+let dispatch_program_batch t m ~batch =
+  let* arr =
+    Machine.run_program_batch ?pool:t.pool m.m_machine m.m_program ~batch
+  in
+  Ok (Array.map values_of_results arr)
+
+let slice_into ~out ~epd ~batch =
+  Array.init batch (fun d -> Array.init epd (fun g -> out.{(d * epd) + g}))
+
+let dispatch_batched t m ~batch =
+  match m.m_plan with
+  | Prog -> dispatch_program_batch t m ~batch
+  | Into { epd = _; out; launch } -> (
+      match
+        Machine.execute_batch_into ?pool:t.pool m.m_machine launch ~batch ~out
+      with
+      | Ok epd' -> Ok (slice_into ~out ~epd:epd' ~batch)
+      | Error e -> Error e)
+  | Unprobed -> (
+      match m.m_program.Promise_isa.Program.tasks with
+      | [ task ] -> (
+          let launch = Machine.default_launch task in
+          let epd =
+            Machine.emissions_per_decision task ~th:launch.Machine.th
+          in
+          let out =
+            Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout
+              (max 1 (t.batch_max * epd))
+          in
+          match
+            Machine.execute_batch_into ?pool:t.pool m.m_machine launch ~batch
+              ~out
+          with
+          | Ok epd' ->
+              m.m_plan <- Into { launch; epd; out };
+              Ok (slice_into ~out ~epd:epd' ~batch)
+          | Error { E.code = E.Unsupported; _ } ->
+              (* rejected before any state was touched: the program path
+                 serves this batch and every later one *)
+              m.m_plan <- Prog;
+              dispatch_program_batch t m ~batch
+          | Error e -> Error e)
+      | _ ->
+          m.m_plan <- Prog;
+          dispatch_program_batch t m ~batch)
+
+let timeout_error ~rid ~waited_ms =
+  E.make ~layer:"serve" ~code:E.Timeout
+    ~context:
+      [ ("rid", string_of_int rid); ("waited_ms", Printf.sprintf "%.1f" waited_ms) ]
+    "request exceeded its watchdog deadline before dispatch"
+
+(* Flush one pending set: answer watchdog-overdue requests with typed
+   [Timeout], then dispatch the survivors as one batch (or one by one in
+   [Single] mode) under the supervisor, and respond per request. *)
+let flush t p =
+  let reqs = List.rev p.p_reqs in
+  p.p_reqs <- [];
+  p.p_count <- 0;
+  let m = p.p_model in
+  let now = t.clock () in
+  let live, dropped =
+    match t.deadline_ms with
+    | None -> (reqs, [])
+    | Some d ->
+        let budget_ns = Int64.of_float (d *. 1e6) in
+        List.partition
+          (fun (_, arrival) -> Int64.sub now arrival <= budget_ns)
+          reqs
+  in
+  List.iter
+    (fun (rid, arrival) ->
+      t.timeouts <- t.timeouts + 1;
+      let waited_ms = Int64.to_float (Int64.sub now arrival) /. 1e6 in
+      Incident.record t.incidents Incident.Timeout
+        [
+          ("item", Printf.sprintf "serve:%s:%d" m.m_name rid);
+          ("waited_ms", Printf.sprintf "%.1f" waited_ms);
+        ];
+      t.respond
+        { o_rid = rid; o_model = m.m_name; o_result = Error (timeout_error ~rid ~waited_ms) })
+    dropped;
+  match live with
+  | [] -> ()
+  | _ ->
+      let n = List.length live in
+      let label = Printf.sprintf "serve:%s:batch%d" m.m_name n in
+      let dispatched =
+        Supervisor.supervise t.sup ~label (fun ~attempt:_ ->
+            match t.mode with
+            | Batched -> dispatch_batched t m ~batch:n
+            | Single ->
+                let rec go acc k =
+                  if k = 0 then Ok (Array.of_list (List.rev acc))
+                  else
+                    let* v = dispatch_single t m in
+                    go (v :: acc) (k - 1)
+                in
+                go [] n)
+      in
+      (* the trace is an audit artifact of batch/CLI runs; a daemon
+         serving forever must not retain one record per dispatch *)
+      Machine.reset_trace m.m_machine;
+      t.batches <- t.batches + (match t.mode with Batched -> 1 | Single -> n);
+      (match t.mode with
+      | Batched -> Histogram.add t.batch_sizes (float_of_int n)
+      | Single ->
+          for _ = 1 to n do
+            Histogram.add t.batch_sizes 1.0
+          done);
+      let done_ns = t.clock () in
+      let reply_batch = match t.mode with Batched -> n | Single -> 1 in
+      List.iteri
+        (fun i (rid, arrival) ->
+          let wait_ns = Int64.sub done_ns arrival in
+          match dispatched with
+          | Ok values ->
+              t.served <- t.served + 1;
+              Histogram.add t.latency (Int64.to_float wait_ns);
+              t.respond
+                {
+                  o_rid = rid;
+                  o_model = m.m_name;
+                  o_result =
+                    Ok { values = values.(i); batch = reply_batch; wait_ns };
+                }
+          | Error e ->
+              t.failures <- t.failures + 1;
+              t.respond
+                {
+                  o_rid = rid;
+                  o_model = m.m_name;
+                  o_result =
+                    Error (E.with_context e [ ("rid", string_of_int rid) ]);
+                })
+        live
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pending_for t name =
+  match Hashtbl.find_opt t.pending name with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          p_model = Hashtbl.find t.models name;
+          p_reqs = [];
+          p_count = 0;
+          p_oldest = 0L;
+        }
+      in
+      Hashtbl.add t.pending name p;
+      p
+
+let rec pump t =
+  match Queue_bounded.pop_opt t.inbox with
+  | None -> ()
+  | Some (rid, name, arrival) ->
+      let p = pending_for t name in
+      if p.p_count = 0 then p.p_oldest <- arrival;
+      p.p_reqs <- (rid, arrival) :: p.p_reqs;
+      p.p_count <- p.p_count + 1;
+      if p.p_count >= t.batch_max then flush t p;
+      pump t
+
+(* The effective flush horizon: the coalescing deadline, tightened by
+   the per-request watchdog when one is armed (a request must be
+   answered [Timeout] promptly, not once the batch window expires). *)
+let span_ns t =
+  match t.deadline_ms with
+  | None -> t.flush_ns
+  | Some d ->
+      let w = Int64.of_float (d *. 1e6) in
+      if w < t.flush_ns then w else t.flush_ns
+
+let due_pendings t ~now =
+  let span = span_ns t in
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.p_count > 0 && Int64.sub now p.p_oldest >= span then p :: acc
+      else acc)
+    t.pending []
+
+let flush_due t =
+  let now = t.clock () in
+  List.iter (flush t) (due_pendings t ~now)
+
+let flush_all t =
+  let ps =
+    Hashtbl.fold (fun _ p acc -> if p.p_count > 0 then p :: acc else acc)
+      t.pending []
+  in
+  List.iter (flush t) ps
+
+let next_deadline_ns t =
+  let span = span_ns t in
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.p_count = 0 then acc
+      else
+        let d = Int64.add p.p_oldest span in
+        match acc with
+        | Some best when best <= d -> acc
+        | _ -> Some d)
+    t.pending None
+
+(* ------------------------------------------------------------------ *)
+(* Environment defaults                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [Machine.default_batch]: the lazy parses fall back silently;
+   [Promise.check_env] validates the same variables loudly at CLI
+   startup. *)
+let env_default ~name ~min ~max ~default =
+  lazy
+    (match Validate.env_int ~name ~min ~max with
+    | Ok (Some n) -> n
+    | Ok None | Error _ -> default)
+
+let env_queue =
+  env_default ~name:"PROMISE_SERVE_QUEUE" ~min:1 ~max:1_048_576 ~default:256
+
+let env_batch_max =
+  env_default ~name:"PROMISE_SERVE_BATCH" ~min:1 ~max:4096 ~default:64
+
+let env_flush_us =
+  env_default ~name:"PROMISE_SERVE_FLUSH_US" ~min:1 ~max:max_flush_us
+    ~default:2000
+
+let default_queue () = Lazy.force env_queue
+let default_batch_max () = Lazy.force env_batch_max
+let default_flush_us () = Lazy.force env_flush_us
+
+(* ------------------------------------------------------------------ *)
+(* Socket daemon                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type wire_request = { w_rid : int; w_model : string }
+
+type wire_response = {
+  r_rid : int;
+  r_values : float array;
+  r_batch : int;
+  r_error : string option;
+}
+
+type daemon_summary = { d_completed : int; d_stats : stats }
+
+let write_frame fd (resp : wire_response) =
+  match Ipc.write fd resp with
+  | Ok () -> true
+  | Error _ | (exception Unix.Unix_error _) -> false
+
+let daemon ?(max_requests = 0) ?clock ?(incidents = Incident.null) ?pool
+    ?deadline_ms ?mode ~queue ~batch_max ~flush_us ~listen ~stop models =
+  let now = match clock with Some c -> c | None -> Clock.monotonic_ns in
+  (* rid (daemon-global) → where the response goes *)
+  let rid_tbl : (int, Unix.file_descr * int) Hashtbl.t = Hashtbl.create 64 in
+  let next_rid = ref 0 in
+  let completed = ref 0 in
+  let respond (out : outcome) =
+    incr completed;
+    match Hashtbl.find_opt rid_tbl out.o_rid with
+    | None -> ()  (* client hung up before its answer *)
+    | Some (fd, w_rid) ->
+        Hashtbl.remove rid_tbl out.o_rid;
+        let resp =
+          match out.o_result with
+          | Ok r ->
+              {
+                r_rid = w_rid;
+                r_values = r.values;
+                r_batch = r.batch;
+                r_error = None;
+              }
+          | Error e ->
+              {
+                r_rid = w_rid;
+                r_values = [||];
+                r_batch = 0;
+                r_error = Some (E.to_string e);
+              }
+        in
+        ignore (write_frame fd resp)
+  in
+  let* eng =
+    create ?clock ~incidents ?pool ?deadline_ms ?mode ~queue ~batch_max
+      ~flush_us ~respond models
+  in
+  (try Unix.unlink listen with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let* () =
+    try
+      Unix.bind srv (Unix.ADDR_UNIX listen);
+      Unix.listen srv 64;
+      Ok ()
+    with Unix.Unix_error (err, _, _) ->
+      Unix.close srv;
+      E.fail ~layer:"serve" ~code:E.Capacity
+        ~context:[ ("path", listen); ("errno", Unix.error_message err) ]
+        "cannot bind the listening socket"
+  in
+  let previous_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  let clients = ref [] in
+  let close_client fd =
+    clients := List.filter (fun c -> c <> fd) !clients;
+    Hashtbl.iter
+      (fun rid (cfd, _) -> if cfd = fd then Hashtbl.remove rid_tbl rid)
+      (Hashtbl.copy rid_tbl);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let handle_client fd =
+    match Ipc.read fd with
+    | Ok None | Error _ -> close_client fd
+    | Ok (Some (req : wire_request)) -> (
+        let rid = !next_rid in
+        incr next_rid;
+        Hashtbl.replace rid_tbl rid (fd, req.w_rid);
+        match submit eng ~rid ~model:req.w_model with
+        | Ok () -> ()
+        | Error e ->
+            Hashtbl.remove rid_tbl rid;
+            incr completed;
+            ignore
+              (write_frame fd
+                 {
+                   r_rid = req.w_rid;
+                   r_values = [||];
+                   r_batch = 0;
+                   r_error = Some (E.to_string e);
+                 }))
+  in
+  Incident.record incidents Incident.Run_start
+    [ ("what", "promise-serve"); ("socket", listen) ];
+  while
+    (not (Supervisor.stop_requested stop))
+    && (max_requests = 0 || !completed < max_requests)
+  do
+    let timeout =
+      match next_deadline_ns eng with
+      | Some ns ->
+          let dt = Int64.to_float (Int64.sub ns (now ())) /. 1e9 in
+          Float.max 0.0 (Float.min dt 0.05)
+      | None -> 0.05
+    in
+    let readable =
+      try
+        let r, _, _ = Unix.select (srv :: !clients) [] [] timeout in
+        r
+      with Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter
+      (fun fd ->
+        if fd = srv then begin
+          match Unix.accept srv with
+          | client, _ -> clients := client :: !clients
+          | exception Unix.Unix_error _ -> ()
+        end
+        else if List.mem fd !clients then handle_client fd)
+      readable;
+    pump eng;
+    flush_due eng
+  done;
+  pump eng;
+  flush_all eng;
+  Incident.record incidents Incident.Run_end
+    [ ("what", "promise-serve"); ("completed", string_of_int !completed) ];
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink listen with Unix.Unix_error _ -> ());
+  (match previous_sigpipe with
+  | Some b -> Sys.set_signal Sys.sigpipe b
+  | None -> ());
+  Ok { d_completed = !completed; d_stats = stats eng }
+
+(* ------------------------------------------------------------------ *)
+(* Probe client                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type probe_summary = {
+  p_sent : int;
+  p_ok : int;
+  p_rejected : int;
+  p_max_batch : int;
+}
+
+let probe ?(connect_timeout_ms = 10_000.0) ?(requests = 8) ~path ~model () =
+  let deadline =
+    Int64.add (Clock.monotonic_ns ())
+      (Int64.of_float (connect_timeout_ms *. 1e6))
+  in
+  let rec connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Clock.monotonic_ns () > deadline then
+          E.fail ~layer:"serve" ~code:E.Timeout
+            ~context:[ ("path", path) ]
+            "no daemon answered within the connect timeout"
+        else begin
+          Clock.sleep_ms 20.0;
+          connect ()
+        end
+    | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        E.fail ~layer:"serve" ~code:E.Capacity
+          ~context:[ ("path", path); ("errno", Unix.error_message err) ]
+          "cannot connect to the daemon"
+  in
+  let* fd = connect () in
+  let finish r =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    r
+  in
+  let rec send i =
+    if i = requests then Ok ()
+    else
+      match Ipc.write fd { w_rid = i; w_model = model } with
+      | Ok () -> send (i + 1)
+      | Error e -> Error e
+  in
+  match send 0 with
+  | Error e -> finish (Error e)
+  | Ok () ->
+      let ok = ref 0 and rejected = ref 0 and max_batch = ref 0 in
+      let rec recv n =
+        if n = 0 then Ok ()
+        else
+          match Ipc.read fd with
+          | Error e -> Error e
+          | Ok None ->
+              E.fail ~layer:"serve" ~code:E.Capacity
+                ~context:[ ("missing", string_of_int n) ]
+                "daemon closed the connection before answering"
+          | Ok (Some (resp : wire_response)) ->
+              (match resp.r_error with
+              | None ->
+                  incr ok;
+                  if resp.r_batch > !max_batch then max_batch := resp.r_batch
+              | Some _ -> incr rejected);
+              recv (n - 1)
+      in
+      finish
+        (let* () = recv requests in
+         Ok
+           {
+             p_sent = requests;
+             p_ok = !ok;
+             p_rejected = !rejected;
+             p_max_batch = !max_batch;
+           })
+
+(* ------------------------------------------------------------------ *)
+(* Self-test load generator                                             *)
+(* ------------------------------------------------------------------ *)
+
+type load = Closed_loop of int | Open_loop of float
+
+type load_report = {
+  l_mode : mode;
+  l_requests : int;
+  l_served : int;
+  l_rejected : int;
+  l_timeouts : int;
+  l_failures : int;
+  l_seconds : float;
+  l_rps : float;
+  l_p50_ms : float;
+  l_p95_ms : float;
+  l_p99_ms : float;
+  l_mean_batch : float;
+  l_max_batch : float;
+  l_batch_hist : (float * int) list;
+  l_max_queue_depth : int;
+  l_digest : string;
+}
+
+let load_run ?(seed = 0) ?(jobs = 1) ?(incidents = Incident.null) ?deadline_ms
+    ~mode ~queue ~batch_max ~flush_us ~requests ~load ~model () =
+  let m = model () in
+  let name = model_name m in
+  let outputs : float array option array = Array.make requests None in
+  let finished = ref 0 in
+  let respond (out : outcome) =
+    incr finished;
+    match out.o_result with
+    | Ok r -> outputs.(out.o_rid) <- Some r.values
+    | Error _ -> ()
+  in
+  Pool.with_pool ~jobs (fun pool ->
+      let* eng =
+        create ~incidents ~pool ?deadline_ms ~mode ~queue ~batch_max ~flush_us
+          ~respond [ m ]
+      in
+      let t0 = Clock.monotonic_ns () in
+      let issued = ref 0 in
+      let offer () =
+        (match submit eng ~rid:!issued ~model:name with
+        | Ok () -> ()
+        | Error _ -> incr finished (* rejected: no outcome will arrive *));
+        incr issued
+      in
+      (match load with
+      | Closed_loop conc ->
+          let conc = max 1 conc in
+          while !finished < requests do
+            while !issued < requests && !issued - !finished < conc do
+              offer ()
+            done;
+            pump eng;
+            (* the window is full (or the stream is over): nothing more
+               can arrive before a response, so drain eagerly — a closed
+               system never waits out the flush deadline *)
+            flush_all eng
+          done
+      | Open_loop rate ->
+          let rate = Float.max 1.0 rate in
+          let rng = Rng.create seed in
+          let interval () =
+            let u = Float.max 1e-12 (Rng.uniform rng ~lo:0.0 ~hi:1.0) in
+            Int64.of_float (-.Float.log u /. rate *. 1e9)
+          in
+          let next = ref (Int64.add t0 (interval ())) in
+          while !finished < requests do
+            let now = Clock.monotonic_ns () in
+            while !issued < requests && !next <= now do
+              offer ();
+              next := Int64.add !next (interval ())
+            done;
+            pump eng;
+            if !issued >= requests then flush_all eng else flush_due eng;
+            if !finished < requests && !issued < requests then begin
+              let target =
+                match next_deadline_ns eng with
+                | Some d when d < !next -> d
+                | _ -> !next
+              in
+              let wait_ms =
+                Int64.to_float (Int64.sub target (Clock.monotonic_ns ()))
+                /. 1e6
+              in
+              if wait_ms > 0.05 then Clock.sleep_ms (Float.min wait_ms 1.0)
+            end
+          done);
+      let seconds =
+        Int64.to_float (Int64.sub (Clock.monotonic_ns ()) t0) /. 1e9
+      in
+      let s = stats eng in
+      let digest =
+        let buf = Buffer.create 4096 in
+        Array.iteri
+          (fun rid o ->
+            match o with
+            | None -> ()
+            | Some vs ->
+                Buffer.add_string buf (string_of_int rid);
+                Array.iter
+                  (fun v -> Buffer.add_int64_le buf (Int64.bits_of_float v))
+                  vs)
+          outputs;
+        Digest.to_hex (Digest.string (Buffer.contents buf))
+      in
+      let pct q = Histogram.percentile s.latency_ns q /. 1e6 in
+      Ok
+        {
+          l_mode = mode;
+          l_requests = requests;
+          l_served = s.served;
+          l_rejected = s.rejected;
+          l_timeouts = s.timeouts;
+          l_failures = s.failures;
+          l_seconds = seconds;
+          l_rps =
+            (if seconds > 0.0 then float_of_int s.served /. seconds else 0.0);
+          l_p50_ms = pct 0.5;
+          l_p95_ms = pct 0.95;
+          l_p99_ms = pct 0.99;
+          l_mean_batch = Histogram.mean s.batch_sizes;
+          l_max_batch = Histogram.max_value s.batch_sizes;
+          l_batch_hist = Histogram.buckets s.batch_sizes;
+          l_max_queue_depth = s.queue.Queue_bounded.max_depth;
+          l_digest = digest;
+        })

@@ -1,0 +1,282 @@
+(** promise-serve: the batched, admission-controlled inference engine.
+
+    The serving layer in front of the machine — the runtime/driver tier
+    a programmable accelerator grows once it faces request traffic
+    rather than batch jobs. The data path is
+
+    {v  submit → bounded queue → per-model coalescer → batch dispatcher → responder  v}
+
+    - {e Admission control}: requests enter a {!Promise_core.Queue_bounded}
+      and a full queue rejects the offer {e immediately} with a typed
+      [Capacity] error (logged as an [Admission_reject] incident) —
+      backpressure is an answer to the client, not an unbounded buffer.
+    - {e Coalescing}: queued requests for the same model accumulate in a
+      per-model pending set and flush as one multi-decision batch when
+      the set reaches [batch_max] {e or} its oldest request has waited
+      [flush_us] microseconds, whichever comes first.
+    - {e Dispatch}: a flushed batch rides the PR-7 batch engine —
+      single-task programs take the zero-allocation
+      {!Promise_arch.Machine.execute_batch_into} serving path (probed
+      once per model, falling back to
+      {!Promise_arch.Machine.run_program_batch} if the launch shape is
+      unsupported); execution runs under {!Promise_core.Supervisor} so a
+      failure becomes typed per-request errors, never a dead daemon.
+      [pool] fans multi-bank groups out across domains bank-major
+      (per-bank affinity), exactly as {!Promise_arch.Machine.execute}.
+    - {e Responder}: every request gets exactly one {!outcome} through
+      the [respond] callback — a reply carrying the decision's emission
+      values, or a typed rejection/timeout/failure.
+
+    Bit-identity contract, extended through the service path: the values
+    a request receives from a coalesced batch are bitwise identical to
+    the values it would receive from sequential single-decision
+    execution of the same arrival order on a twin machine (the PR-7
+    batched ≡ sequential contract; [test_serve] and [--selftest-load]
+    both enforce it).
+
+    The engine is deliberately passive: {!submit}, {!pump} and
+    {!flush_due} are called by one driver (the socket daemon's select
+    loop, or a load generator), the clock is injectable, and nothing
+    spawns threads — which is what makes flush-by-deadline and
+    watchdog-timeout behavior unit-testable with a fake clock. *)
+
+(** {2 Models} *)
+
+type model
+(** A compiled, resident inference target: a per-decision ISA program
+    on a deterministically pre-loaded machine. Requests name a model;
+    each served decision replays the program once (drawing fresh analog
+    noise when the machine is noisy — Monte-Carlo scoring). *)
+
+val model_of_benchmark :
+  ?name:string ->
+  ?banks:int ->
+  ?noise_seed:int option ->
+  ?fill_seed:int ->
+  Benchmarks.t ->
+  model
+(** Build a servable model from a Table-2 benchmark's per-decision
+    program. [name] is the key requests address it by (default: the
+    benchmark's descriptive name); [banks] defaults to the program's
+    requirement; [noise_seed] (default [None] — noiseless,
+    deterministic serving) seeds the analog noise streams; [fill_seed]
+    (default 7) seeds the deterministic bank-row / X-REG data image, so
+    two models built from the same seeds are bit-for-bit twins. *)
+
+val model_name : model -> string
+
+(** {2 The engine} *)
+
+type mode =
+  | Batched  (** coalesced multi-decision dispatch (the point) *)
+  | Single
+      (** flush identically, but execute one decision at a time — the
+          batch=1 service path the selftest measures against *)
+
+type reply = {
+  values : float array;
+      (** the decision's emission stream (output-buffer + accumulator
+          emissions, task order) — bitwise equal across {!mode}s *)
+  batch : int;  (** decisions in the flushed batch this request rode *)
+  wait_ns : int64;  (** admission → dispatch completion, engine clock *)
+}
+
+type outcome = {
+  o_rid : int;
+  o_model : string;
+  o_result : (reply, Promise_core.Error.t) result;
+}
+
+type t
+
+val create :
+  ?clock:(unit -> int64) ->
+  ?incidents:Promise_core.Incident.t ->
+  ?pool:Promise_core.Pool.t ->
+  ?deadline_ms:float ->
+  ?mode:mode ->
+  queue:int ->
+  batch_max:int ->
+  flush_us:int ->
+  respond:(outcome -> unit) ->
+  model list ->
+  (t, Promise_core.Error.t) result
+(** [create ~queue ~batch_max ~flush_us ~respond models] — an engine
+    serving [models]. [queue] bounds admission (1..1048576);
+    [batch_max] bounds coalescing (1..4096, the [PROMISE_BATCH] range);
+    [flush_us] (1..10^7) is the deadline-triggered flush. [deadline_ms]
+    arms the per-request watchdog: a request still undispatched that
+    long after admission is answered with a typed [Timeout] (and a
+    [Timeout] incident) instead of being served stale. [clock] is the
+    monotonic ns source (injectable for tests); [mode] defaults to
+    {!Batched}. Typed [Invalid_operand] on out-of-range knobs or
+    duplicate model names. *)
+
+val submit : t -> rid:int -> model:string -> (unit, Promise_core.Error.t) result
+(** Offer one request. [Error] with [Capacity] when the queue is full
+    (an [Admission_reject] incident is logged; the caller answers the
+    client) or [Invalid_operand] for an unknown model — rejected at
+    admission so the queue only ever holds dispatchable work. [Ok ()]
+    guarantees exactly one later {!outcome} for [rid]. *)
+
+val pump : t -> unit
+(** Drain the admission queue into the per-model pending sets, flushing
+    every set that reaches [batch_max] (flush-by-size). *)
+
+val flush_due : t -> unit
+(** Flush every pending set whose oldest request has waited [flush_us]
+    (flush-by-deadline), answering watchdog-overdue requests with
+    [Timeout] first. Reads the engine clock. *)
+
+val flush_all : t -> unit
+(** Dispatch everything pending regardless of age (shutdown / drain). *)
+
+val next_deadline_ns : t -> int64 option
+(** Engine-clock instant of the earliest pending flush deadline — the
+    select-loop timeout. [None] when nothing is pending. *)
+
+type stats = {
+  submitted : int;  (** admitted requests *)
+  rejected : int;  (** admission rejections (queue full / unknown model) *)
+  served : int;
+  timeouts : int;  (** watchdog-expired requests *)
+  failures : int;  (** dispatch failures surfaced as per-request errors *)
+  batches : int;  (** dispatched batches *)
+  queue : Promise_core.Queue_bounded.stats;
+  latency_ns : Promise_core.Histogram.t;  (** admission → response *)
+  batch_sizes : Promise_core.Histogram.t;  (** decisions per dispatched batch *)
+}
+
+val stats : t -> stats
+
+(** {2 Environment defaults}
+
+    [PROMISE_SERVE_QUEUE], [PROMISE_SERVE_BATCH] and
+    [PROMISE_SERVE_FLUSH_US] feed the CLI defaults below; each falls
+    back silently here and is validated loudly by [Promise.check_env]
+    at CLI startup, like [PROMISE_BATCH]. *)
+
+val default_queue : unit -> int  (** [PROMISE_SERVE_QUEUE], default 256 *)
+
+val default_batch_max : unit -> int
+(** [PROMISE_SERVE_BATCH], default 64 (range 1..4096, like
+    [PROMISE_BATCH]) *)
+
+val default_flush_us : unit -> int
+(** [PROMISE_SERVE_FLUSH_US], default 2000 (2 ms) *)
+
+(** {2 The socket daemon} *)
+
+type wire_request = { w_rid : int; w_model : string }
+(** One request frame ({!Promise_core.Ipc} framing over a Unix-domain
+    stream socket). [w_rid] is echoed back; clients keep it unique per
+    connection. *)
+
+type wire_response = {
+  r_rid : int;
+  r_values : float array;  (** [[||]] when [r_error] is set *)
+  r_batch : int;
+  r_error : string option;  (** rendered typed error *)
+}
+
+type daemon_summary = {
+  d_completed : int;  (** responses written (incl. rejections) *)
+  d_stats : stats;
+}
+
+val daemon :
+  ?max_requests:int ->
+  ?clock:(unit -> int64) ->
+  ?incidents:Promise_core.Incident.t ->
+  ?pool:Promise_core.Pool.t ->
+  ?deadline_ms:float ->
+  ?mode:mode ->
+  queue:int ->
+  batch_max:int ->
+  flush_us:int ->
+  listen:string ->
+  stop:Promise_core.Supervisor.stop ->
+  model list ->
+  (daemon_summary, Promise_core.Error.t) result
+(** Serve forever on Unix socket [listen] (unlinked and re-bound):
+    accept connections, read {!wire_request} frames, answer with
+    {!wire_response} frames through the engine. One select loop drives
+    admission, coalescing and dispatch; the select timeout is
+    {!next_deadline_ns}, so flush-by-deadline holds within a poll
+    quantum. Returns after [stop] is requested (SIGINT/SIGTERM) or
+    after [max_requests] responses when positive — the drain flushes
+    every pending batch first. A dead client's responses are dropped
+    (and logged), never fatal ([SIGPIPE] is ignored for the loop). *)
+
+type probe_summary = {
+  p_sent : int;
+  p_ok : int;
+  p_rejected : int;
+  p_max_batch : int;  (** largest coalesced batch any reply rode *)
+}
+
+val probe :
+  ?connect_timeout_ms:float ->
+  ?requests:int ->
+  path:string ->
+  model:string ->
+  unit ->
+  (probe_summary, Promise_core.Error.t) result
+(** Client-side smoke: connect to a daemon at [path] (retrying until
+    [connect_timeout_ms], default 10 s — the daemon may still be
+    binding), pipeline [requests] (default 8) requests for [model] on
+    one connection, and collect every response. An error reply counts
+    in [p_rejected]; transport errors are typed. *)
+
+(** {2 The self-test load generator} *)
+
+type load =
+  | Closed_loop of int
+      (** keep that many requests outstanding; each response immediately
+          triggers the next submit — the drain is eager, so the server
+          batches exactly what the concurrency window holds *)
+  | Open_loop of float
+      (** Poisson-ish arrivals at that rate (requests/sec), inter-arrival
+          times drawn from a seeded stream — overload produces typed
+          admission rejections, which is the point *)
+
+type load_report = {
+  l_mode : mode;
+  l_requests : int;
+  l_served : int;
+  l_rejected : int;
+  l_timeouts : int;
+  l_failures : int;
+  l_seconds : float;
+  l_rps : float;  (** served / seconds *)
+  l_p50_ms : float;
+  l_p95_ms : float;
+  l_p99_ms : float;
+  l_mean_batch : float;
+  l_max_batch : float;
+  l_batch_hist : (float * int) list;  (** (batch size, flush count) *)
+  l_max_queue_depth : int;
+  l_digest : string;  (** MD5 over (rid, value bit patterns), rid order *)
+}
+
+val load_run :
+  ?seed:int ->
+  ?jobs:int ->
+  ?incidents:Promise_core.Incident.t ->
+  ?deadline_ms:float ->
+  mode:mode ->
+  queue:int ->
+  batch_max:int ->
+  flush_us:int ->
+  requests:int ->
+  load:load ->
+  model:(unit -> model) ->
+  unit ->
+  (load_report, Promise_core.Error.t) result
+(** Drive [requests] requests through a fresh engine against a fresh
+    model ([model] is a thunk so paired runs get bit-for-bit twin
+    machines) and measure wall-clock throughput, latency percentiles,
+    batch-size distribution and queue depth on the monotonic clock.
+    [l_digest] fingerprints every served value bitwise: two runs in
+    different {!mode}s over twin models must produce equal digests —
+    the identity contract through the whole service path. *)

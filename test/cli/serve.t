@@ -1,0 +1,61 @@
+The serving selftest drives the coalescing engine in batched and
+single mode over bit-for-bit twin models; the response streams must be
+identical (timings go to stderr, stable facts to stdout).
+
+  $ promise_serve --selftest-load --requests 64 --batch-max 8 --load closed:16 2>/dev/null
+  serve selftest: model=matched_filter requests=64 load=closed:16
+  batched: served=64 rejected=0 timeouts=0 failures=0
+  single: served=64 rejected=0 timeouts=0 failures=0
+  identical_output=true
+
+The selftest writes the BENCH_serve.json artifact.
+
+  $ promise_serve --selftest-load --requests 64 --batch-max 8 --load closed:16 --bench bench.json >/dev/null 2>&1
+  $ grep -c '"identical_output": true' bench.json
+  1
+
+Daemon and probe over a Unix-domain socket: the daemon exits cleanly
+after its response budget; the probe pipelines requests on one
+connection and accounts every answer.
+
+  $ promise_serve --listen /tmp/serve-cram.$$ --max-requests 6 2>/dev/null &
+  $ promise_serve --probe /tmp/serve-cram.$$ --requests 6 2>/dev/null
+  probe: sent=6 ok=6 rejected=0
+  $ wait
+
+A request for an unknown model is rejected at admission with a typed
+error reply — the daemon stays alive and still answers.
+
+  $ promise_serve --listen /tmp/serve-cram.$$ --max-requests 3 2>/dev/null &
+  $ promise_serve --probe /tmp/serve-cram.$$ --model nope --requests 3 2>/dev/null
+  probe: sent=3 ok=0 rejected=3
+  [124]
+  $ wait
+
+Validation: exactly one entry point, range-checked knobs, and loud
+PROMISE_SERVE_* environment checking before any work.
+
+  $ promise_serve
+  promise-serve: pick exactly one of --listen PATH, --probe PATH, --selftest-load
+  [124]
+
+  $ promise_serve --selftest-load --batch-max 0 2>&1 | tail -1
+  Try 'promise-serve --help' for more information.
+
+  $ promise_serve --selftest-load --flush-us 10000001 2>&1 | tail -1
+  Try 'promise-serve --help' for more information.
+
+  $ promise_serve --selftest-load --queue 0 2>&1 | tail -1
+  Try 'promise-serve --help' for more information.
+
+  $ promise_serve --selftest-load --model nosuch
+  promise-serve: unknown model "nosuch" (expected one of: matched_filter, template_l1, template_l2, svm, knn_l1, knn_l2, pca, linreg)
+  [124]
+
+  $ PROMISE_SERVE_BATCH=4097 promise_serve --selftest-load
+  promise-serve: cli: must be in 1..4096 [flag=PROMISE_SERVE_BATCH, value=4097]
+  [124]
+
+  $ PROMISE_SERVE_QUEUE=zero promise_serve --selftest-load
+  promise-serve: cli: expected an integer [flag=PROMISE_SERVE_QUEUE, value=zero]
+  [124]
