@@ -15,12 +15,23 @@
                      response streams are identical, and measure
                      requests/sec, p50/p95/p99 latency, queue depth and
                      the batch-size histogram (--bench BENCH_serve.json).
+   --chaos           seeded chaos soak: drive the engine on a virtual
+                     clock under a scheduled failure storm (failpoints
+                     on IPC/checkpoint/incident/admission/flush, a bank
+                     death mid-service, a dispatcher stall, a machine
+                     blackout that trips the circuit breaker) and gate
+                     on the soak invariants: exactly one outcome per
+                     admitted request, no crash, survivors bit-identical
+                     to a fault-free twin run (--bench BENCH_chaos.json,
+                     --events canonical transcript for replay diffing).
 
-   Usage: promise_serve (--listen P | --probe P | --selftest-load)
+   Usage: promise_serve (--listen P | --probe P | --selftest-load | --chaos)
             [--models A,B] [--model M] [--requests N] [--max-requests N]
             [--queue N] [--batch-max N] [--flush-us U] [--deadline-ms T]
             [--jobs J] [--mode batched|single] [--load closed:N|open:R]
             [--seed S] [--noise SEED] [--cache-capacity N]
+            [--failpoints SITE:POLICY,..] [--breaker-threshold N]
+            [--dwell-budget-us U] [--events FILE]
             [--connect-timeout-ms T] [--incidents FILE] [--bench FILE] *)
 
 module P = Promise
@@ -199,7 +210,8 @@ let with_incidents path f =
           r)
 
 let run_daemon ~listen ~models ~noise ~max_requests ~queue ~batch_max
-    ~flush_us ~deadline_ms ~jobs ~mode ~incidents_path =
+    ~flush_us ~deadline_ms ~jobs ~mode ~breaker_threshold ~dwell_budget_us
+    ~incidents_path =
   with_incidents incidents_path (fun incidents ->
       match models_of_names ~noise_seed:noise models with
       | Error msg -> `Error (false, msg)
@@ -209,7 +221,8 @@ let run_daemon ~listen ~models ~noise ~max_requests ~queue ~batch_max
             (String.concat ", " (List.map P.Serve.model_name ms));
           let go pool =
             P.Serve.daemon ~max_requests ~incidents ?pool ?deadline_ms ~mode
-              ~queue ~batch_max ~flush_us ~listen ~stop ms
+              ?breaker_threshold ?dwell_budget_us ~queue ~batch_max ~flush_us
+              ~listen ~stop ms
           in
           let result =
             if jobs > 1 then
@@ -324,32 +337,192 @@ let run_selftest ~model ~noise ~requests ~repeats ~queue ~batch_max ~flush_us
                          bit-identity contract is broken" )
                   else `Ok ())))
 
-let run listen probe selftest models model noise max_requests requests repeats
-    queue batch_max flush_us deadline_ms jobs mode load seed cache_capacity
-    connect_timeout_ms incidents_path bench_path =
+(* ------------------------------------------------------------------ *)
+(* Chaos soak                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The clean-vs-fault comparison load: the fault leg arms a mild
+   failpoint schedule (dispatch faults absorbed by the heal ladder,
+   admission faults surfacing as typed rejections) so BENCH_chaos.json
+   shows what self-healing costs in throughput and tail latency. *)
+let bench_fault_spec = "serve.flush:fail_prob=0.05,queue.admit:fail_prob=0.01"
+
+let write_bench_chaos path ~model ~seed (r : P.Serve.chaos_report)
+    (clean : P.Serve.load_report) (fault : P.Serve.load_report) =
+  let oc = open_out path in
+  let slowdown =
+    if fault.P.Serve.l_rps > 0.0 then
+      clean.P.Serve.l_rps /. fault.P.Serve.l_rps
+    else 0.0
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"chaos\",\n\
+    \  \"model\": \"%s\",\n\
+    \  \"seed\": %d,\n\
+    \  \"soak\": {\n\
+    \    \"requests\": %d,\n\
+    \    \"admitted\": %d,\n\
+    \    \"served\": %d,\n\
+    \    \"timeouts\": %d,\n\
+    \    \"failed\": %d,\n\
+    \    \"shed\": %d,\n\
+    \    \"rejected\": %d,\n\
+    \    \"lost\": %d,\n\
+    \    \"multi\": %d,\n\
+    \    \"healed\": %d,\n\
+    \    \"fallback_batches\": %d,\n\
+    \    \"breaker_opens\": %d,\n\
+    \    \"survivors_checked\": %d,\n\
+    \    \"survivor_mismatches\": %d,\n\
+    \    \"ipc_faults\": %d,\n\
+    \    \"checkpoint_failures\": %d,\n\
+    \    \"sink_degraded\": %d\n\
+    \  },\n\
+    \  \"fault_spec\": \"%s\",\n\
+    \  \"clean_over_fault_speedup\": %.2f,\n"
+    model seed r.P.Serve.c_requests r.P.Serve.c_admitted r.P.Serve.c_served
+    r.P.Serve.c_timeouts r.P.Serve.c_failed r.P.Serve.c_shed
+    r.P.Serve.c_rejected r.P.Serve.c_lost r.P.Serve.c_multi
+    r.P.Serve.c_healed r.P.Serve.c_fallback_batches
+    r.P.Serve.c_breaker_opens r.P.Serve.c_survivors_checked
+    r.P.Serve.c_survivor_mismatches r.P.Serve.c_ipc_faults
+    r.P.Serve.c_checkpoint_failures r.P.Serve.c_sink_degraded
+    bench_fault_spec slowdown;
+  report_json oc "clean" clean;
+  Printf.fprintf oc ",\n";
+  report_json oc "fault" fault;
+  Printf.fprintf oc "\n}\n";
+  close_out oc
+
+let run_chaos ~model ~noise ~requests ~seed ~incidents_path ~events_path
+    ~bench_path =
+  match benchmark_of_name model with
+  | Error msg -> `Error (false, msg)
+  | Ok b -> (
+      let thunk () =
+        P.Serve.model_of_benchmark ~name:model ~noise_seed:noise b
+      in
+      let incident_path =
+        Option.value incidents_path ~default:"chaos_incidents.jsonl"
+      in
+      let checkpoint_path = incident_path ^ ".ckpt" in
+      let requests = if requests = 0 then 240 else requests in
+      Printf.printf "chaos: model=%s seed=%d requests=%d\n%!" model seed
+        requests;
+      match
+        P.Serve.chaos_run ~seed ~requests ~incident_path ~checkpoint_path
+          ~model:thunk ()
+      with
+      | Error e -> `Error (false, P.Error.to_string e)
+      | Ok r -> (
+          (try Sys.remove checkpoint_path with Sys_error _ -> ());
+          Printf.printf
+            "chaos: admitted=%d served=%d timeouts=%d failed=%d shed=%d \
+             rejected=%d\n"
+            r.P.Serve.c_admitted r.P.Serve.c_served r.P.Serve.c_timeouts
+            r.P.Serve.c_failed r.P.Serve.c_shed r.P.Serve.c_rejected;
+          Printf.printf
+            "chaos: healed=%d fallback_batches=%d breaker_opens=%d \
+             sink_degraded=%d\n"
+            r.P.Serve.c_healed r.P.Serve.c_fallback_batches
+            r.P.Serve.c_breaker_opens r.P.Serve.c_sink_degraded;
+          Printf.printf
+            "chaos: lost=%d multi=%d survivors=%d mismatches=%d\n"
+            r.P.Serve.c_lost r.P.Serve.c_multi r.P.Serve.c_survivors_checked
+            r.P.Serve.c_survivor_mismatches;
+          Format.eprintf
+            "chaos: %d ipc faults (typed), %d injected checkpoint failures@."
+            r.P.Serve.c_ipc_faults r.P.Serve.c_checkpoint_failures;
+          Option.iter
+            (fun p ->
+              let oc = open_out p in
+              output_string oc r.P.Serve.c_events;
+              close_out oc)
+            events_path;
+          let bench =
+            match bench_path with
+            | None -> Ok ()
+            | Some p -> (
+                let run_load () =
+                  P.Serve.load_run ~seed ~mode:P.Serve.Batched ~queue:256
+                    ~batch_max:64 ~flush_us:2000 ~requests:256
+                    ~load:(P.Serve.Closed_loop 32) ~model:thunk ()
+                in
+                match run_load () with
+                | Error _ as e -> Result.map ignore e
+                | Ok clean -> (
+                    match P.Failpoint.configure_spec ~seed bench_fault_spec with
+                    | Error _ as e -> e
+                    | Ok () ->
+                        let fault = run_load () in
+                        P.Failpoint.reset ();
+                        Result.map
+                          (fun fault ->
+                            write_bench_chaos p ~model ~seed r clean fault)
+                          fault))
+          in
+          match bench with
+          | Error e -> `Error (false, P.Error.to_string e)
+          | Ok () ->
+              let violated =
+                (if r.P.Serve.c_lost > 0 then [ "lost outcomes" ] else [])
+                @ (if r.P.Serve.c_multi > 0 then [ "duplicate outcomes" ]
+                   else [])
+                @
+                if r.P.Serve.c_survivor_mismatches > 0 then
+                  [ "survivor bit-identity" ]
+                else []
+              in
+              if violated <> [] then
+                `Error
+                  ( false,
+                    "chaos invariants violated: "
+                    ^ String.concat ", " violated )
+              else begin
+                Printf.printf "chaos: invariants hold\n";
+                `Ok ()
+              end))
+
+let run listen probe selftest chaos models model noise max_requests requests
+    repeats queue batch_max flush_us deadline_ms jobs mode load seed
+    breaker_threshold dwell_budget_us failpoints cache_capacity
+    connect_timeout_ms incidents_path events_path bench_path =
   match P.check_env () with
   | Error e -> `Error (false, P.Error.to_string e)
   | Ok () -> (
-      Option.iter
-        (fun n -> P.Compiler.Pipeline.Cache.set_capacity (Some n))
-        cache_capacity;
-      match (listen, probe, selftest) with
-      | Some listen, None, false ->
-          run_daemon ~listen ~models ~noise ~max_requests ~queue ~batch_max
-            ~flush_us ~deadline_ms ~jobs ~mode ~incidents_path
-      | None, Some path, false ->
-          let requests = if requests = 0 then 8 else requests in
-          run_probe ~path ~model ~requests ~connect_timeout_ms
-      | None, None, true ->
-          let requests = if requests = 0 then 512 else requests in
-          run_selftest ~model ~noise ~requests ~repeats ~queue ~batch_max
-            ~flush_us ~deadline_ms ~jobs ~load ~seed ~incidents_path
-            ~bench_path
-      | _ ->
-          `Error
-            ( false,
-              "pick exactly one of --listen PATH, --probe PATH, \
-               --selftest-load" ))
+      let armed =
+        match failpoints with
+        | Some spec -> P.Failpoint.configure_spec ~seed spec
+        | None -> P.Failpoint.from_env ~seed ()
+      in
+      match armed with
+      | Error e -> `Error (false, P.Error.to_string e)
+      | Ok () -> (
+          Option.iter
+            (fun n -> P.Compiler.Pipeline.Cache.set_capacity (Some n))
+            cache_capacity;
+          match (listen, probe, selftest, chaos) with
+          | Some listen, None, false, false ->
+              run_daemon ~listen ~models ~noise ~max_requests ~queue
+                ~batch_max ~flush_us ~deadline_ms ~jobs ~mode
+                ~breaker_threshold ~dwell_budget_us ~incidents_path
+          | None, Some path, false, false ->
+              let requests = if requests = 0 then 8 else requests in
+              run_probe ~path ~model ~requests ~connect_timeout_ms
+          | None, None, true, false ->
+              let requests = if requests = 0 then 512 else requests in
+              run_selftest ~model ~noise ~requests ~repeats ~queue ~batch_max
+                ~flush_us ~deadline_ms ~jobs ~load ~seed ~incidents_path
+                ~bench_path
+          | None, None, false, true ->
+              run_chaos ~model ~noise ~requests ~seed ~incidents_path
+                ~events_path ~bench_path
+          | _ ->
+              `Error
+                ( false,
+                  "pick exactly one of --listen PATH, --probe PATH, \
+                   --selftest-load, --chaos" )))
 
 (* ------------------------------------------------------------------ *)
 (* Arguments                                                            *)
@@ -530,6 +703,61 @@ let connect_timeout_arg =
     & info [ "connect-timeout-ms" ] ~docv:"T"
         ~doc:"--probe: keep retrying the connect for $(docv) ms.")
 
+let chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Seeded chaos soak: drive the engine on a virtual clock under a \
+           scheduled failure storm and gate on exactly-one-outcome, \
+           no-crash and survivor bit-identity. Same --seed, same incident \
+           transcript, byte for byte.")
+
+let failpoints_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failpoints" ] ~docv:"SPEC"
+        ~doc:
+          "Arm the fault-injection registry: comma-separated \
+           $(i,site:policy) pairs, policies $(b,off), $(b,fail_once), \
+           $(b,fail_prob=P), $(b,delay_ns=N), $(b,eintr). Overrides \
+           $(b,PROMISE_FAILPOINTS). Draws are seeded by --seed.")
+
+let breaker_threshold_arg =
+  Arg.(
+    value
+    & opt
+        (some (validated_int ~what:"--breaker-threshold" ~min:1 ~max:10_000))
+        None
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:
+          "Daemon: open a model's circuit breaker after $(docv) consecutive \
+           batch failures (default $(b,PROMISE_SERVE_BREAKER_THRESHOLD) or \
+           8).")
+
+let dwell_budget_arg =
+  Arg.(
+    value
+    & opt
+        (some (validated_int ~what:"--dwell-budget-us" ~min:1 ~max:10_000_000))
+        None
+    & info [ "dwell-budget-us" ] ~docv:"U"
+        ~doc:
+          "Daemon: shed new submissions with a typed Overloaded error while \
+           the queue head has waited more than $(docv) microseconds \
+           (default $(b,PROMISE_SERVE_DWELL_BUDGET_US), off when unset).")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Chaos: write the canonical incident transcript (wall-clock \
+           stripped) to $(docv); two soaks with the same seed must produce \
+           byte-identical files.")
+
 let incidents_arg =
   Arg.(
     value
@@ -561,9 +789,12 @@ let () =
        (Cmd.v info
           Term.(
             ret
-              (const run $ listen_arg $ probe_arg $ selftest_arg $ models_arg
+              (const run $ listen_arg $ probe_arg $ selftest_arg $ chaos_arg
+             $ models_arg
              $ model_arg $ noise_arg $ max_requests_arg $ requests_arg
              $ repeats_arg $ queue_arg $ batch_max_arg $ flush_us_arg
              $ deadline_arg
-             $ jobs_arg $ mode_arg $ load_arg $ seed_arg $ cache_capacity_arg
-             $ connect_timeout_arg $ incidents_arg $ bench_arg))))
+             $ jobs_arg $ mode_arg $ load_arg $ seed_arg
+             $ breaker_threshold_arg $ dwell_budget_arg $ failpoints_arg
+             $ cache_capacity_arg
+             $ connect_timeout_arg $ incidents_arg $ events_arg $ bench_arg))))

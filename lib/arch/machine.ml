@@ -233,12 +233,30 @@ let cached_kernels ?lane_mask t launch banks =
           k)
     banks
 
+(* The [machine.execute] failpoint is consulted before any bank state
+   or RNG draw is touched — same contract as the real Fault-coded
+   checks (e.g. all-ADC-dead) — so a caller that retries after an
+   injected fault sees the machine exactly as if the faulted call
+   never happened. *)
+let injected_fault launch =
+  match Promise_core.Failpoint.check "machine.execute" with
+  | Some Promise_core.Failpoint.Fail ->
+      E.fail ~layer:"machine" ~code:E.Fault
+        ~context:
+          [ ("group", string_of_int launch.bank_group); ("injected", "true") ]
+        "injected analog fault"
+  | Some (Promise_core.Failpoint.Delay ns) ->
+      Promise_core.Clock.sleep_ms (Int64.to_float ns /. 1e6);
+      Ok ()
+  | Some Promise_core.Failpoint.Interrupt | None -> Ok ()
+
 let execute ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t launch =
   let ( let* ) = Result.bind in
   let task = launch.task in
   let kernel_mode =
     match kernel_mode with Some m -> m | None -> default_kernel_mode ()
   in
+  let* () = injected_fault launch in
   let* () =
     match Task.validate task with
     | Ok _ -> Ok ()
@@ -582,7 +600,11 @@ let execute_batch_into ?lane_mask ?(pool = Pool.sequential) ?kernel_mode t
     launch ~batch ~(out : A.Rng.ba) =
   if batch < 1 then invalid_batch batch
   else
-    match batch_setup ?lane_mask ?kernel_mode t launch with
+    match
+      match injected_fault launch with
+      | Error e -> Error e
+      | Ok () -> batch_setup ?lane_mask ?kernel_mode t launch
+    with
     | Error e -> Error e
     | Ok (_, _, None) ->
         E.fail ~layer:"machine" ~code:E.Unsupported

@@ -44,6 +44,15 @@ let save ~path ~config_digest payload =
        output_string oc config_digest;
        Marshal.to_channel oc payload [];
        flush oc;
+       (* The failpoint models the disk dying at the worst moment: data
+          staged in the temp file but never durable. Raising here drops
+          into the handler below, which removes the torn temp file —
+          exactly the cleanup a real fsync failure needs. *)
+       (match Failpoint.check "checkpoint.save" with
+       | Some Failpoint.Fail -> raise (Sys_error "injected fsync failure")
+       | Some (Failpoint.Delay ns) ->
+           Unix.sleepf (Int64.to_float ns /. 1e9)
+       | Some Failpoint.Interrupt | None -> ());
        (* fsync before rename: the rename must not beat the data to disk *)
        Unix.fsync (Unix.descr_of_out_channel oc);
        close_out oc

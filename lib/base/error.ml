@@ -5,6 +5,7 @@ type code =
   | Fault
   | Timeout
   | Retry_exhausted
+  | Overloaded
   | Stale_checkpoint
   | Internal
 
@@ -32,6 +33,7 @@ let code_name = function
   | Fault -> "fault"
   | Timeout -> "timeout"
   | Retry_exhausted -> "retry-exhausted"
+  | Overloaded -> "overloaded"
   | Stale_checkpoint -> "stale-checkpoint"
   | Internal -> "internal"
 

@@ -14,6 +14,10 @@ type code =
   | Fault  (** a hardware fault surfaced (canary miss, BIST failure) *)
   | Timeout  (** a supervised work item exceeded its deadline *)
   | Retry_exhausted  (** the bounded retry/backoff budget ran out *)
+  | Overloaded
+      (** the service is shedding load (queue dwell over budget, or a
+          circuit breaker is open); the context carries a
+          [retry-after-ms] hint — retrying later is expected to work *)
   | Stale_checkpoint
       (** a checkpoint's run-configuration digest does not match the
           current run: resuming it would silently mix incompatible

@@ -31,6 +31,11 @@ type kind =
   | Chaos  (** the chaos self-test deliberately killed a worker *)
   | Admission_reject
       (** the serving layer's bounded queue refused a request *)
+  | Breaker  (** a serve circuit breaker changed state *)
+  | Bist  (** a built-in self-test ran (findings in the fields) *)
+  | Sink_degraded
+      (** this sink itself failed (e.g. ENOSPC) and later recovered;
+          the [dropped] field counts the lines lost in between *)
 
 val kind_name : kind -> string
 
@@ -58,12 +63,22 @@ val to_buffer : Buffer.t -> t
 val record : t -> kind -> (string * string) list -> unit
 (** [record t kind fields] — append one JSONL line. Keys [seq],
     [t_ms], [wall] and [kind] are reserved; [fields] is free-form
-    string key/value context. Never raises: I/O errors on a file sink
-    silently drop the line (losing an incident must not kill the
-    campaign it describes). *)
+    string key/value context. Never raises: when a file sink errors
+    (ENOSPC, injected [incident.write]/[incident.rotate] failpoints) it
+    degrades to a counting null sink, and the first write that lands
+    again is preceded by one [Sink_degraded] marker carrying the count
+    of lines lost — losing incidents must not kill the campaign they
+    describe, but the loss itself is an incident. *)
 
 val count : t -> int
 (** Lines recorded through this sink so far (0 for {!null}). *)
+
+val degraded : t -> bool
+(** Whether a file sink is currently in the counting-drop state. *)
+
+val dropped : t -> int
+(** Lines lost in the {e current} outage (0 once recovered — the total
+    was written into the [Sink_degraded] marker). *)
 
 val close : t -> unit
 (** Flush and close a file sink — subsequent {!record}s through it are

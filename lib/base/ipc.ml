@@ -10,27 +10,60 @@ let unix_ctx fn msg = [ ("syscall", fn); ("unix", msg) ]
 (* Blocking full transfers with EINTR retry                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Failpoint semantics at the transfer loops: [Fail] on write is a
+   typed write error, [Fail] on read simulates the peer dying at the
+   current offset (clean EOF between frames, truncation mid-frame);
+   [Interrupt] clamps the transfer to one byte — a short read/write the
+   loop must absorb, exactly the shape a signal-interrupted syscall
+   produces. *)
+let fp_sleep ns = Unix.sleepf (Int64.to_float ns /. 1e9)
+
 let rec write_all fd buf ofs len =
   if len = 0 then Ok ()
   else
-    match Unix.write fd buf ofs len with
-    | n -> write_all fd buf (ofs + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf ofs len
-    | exception Unix.Unix_error (err, fn, _) ->
-        fail ~code:Error.Invalid_operand "frame write failed"
-          (unix_ctx fn (Unix.error_message err))
+    let req =
+      match Failpoint.check "ipc.write" with
+      | None -> len
+      | Some Failpoint.Fail -> -1
+      | Some (Failpoint.Delay ns) ->
+          fp_sleep ns;
+          len
+      | Some Failpoint.Interrupt -> 1
+    in
+    if req < 0 then
+      fail ~code:Error.Invalid_operand "frame write failed"
+        (unix_ctx "write" "injected write failure")
+    else
+      match Unix.write fd buf ofs req with
+      | n -> write_all fd buf (ofs + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          write_all fd buf ofs len
+      | exception Unix.Unix_error (err, fn, _) ->
+          fail ~code:Error.Invalid_operand "frame write failed"
+            (unix_ctx fn (Unix.error_message err))
 
 (* [`Eof n] = the peer closed after [n] of [len] bytes. *)
 let rec read_all fd buf ofs len =
   if len = 0 then Ok `Done
   else
-    match Unix.read fd buf ofs len with
-    | 0 -> Ok (`Eof ofs)
-    | n -> read_all fd buf (ofs + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd buf ofs len
-    | exception Unix.Unix_error (err, fn, _) ->
-        fail ~code:Error.Invalid_operand "frame read failed"
-          (unix_ctx fn (Unix.error_message err))
+    let req =
+      match Failpoint.check "ipc.read" with
+      | None -> len
+      | Some Failpoint.Fail -> -1
+      | Some (Failpoint.Delay ns) ->
+          fp_sleep ns;
+          len
+      | Some Failpoint.Interrupt -> 1
+    in
+    if req < 0 then Ok (`Eof ofs)
+    else
+      match Unix.read fd buf ofs req with
+      | 0 -> Ok (`Eof ofs)
+      | n -> read_all fd buf (ofs + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd buf ofs len
+      | exception Unix.Unix_error (err, fn, _) ->
+          fail ~code:Error.Invalid_operand "frame read failed"
+            (unix_ctx fn (Unix.error_message err))
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                              *)

@@ -44,7 +44,23 @@ let length t = Mutex.protect t.lock (fun () -> Queue.length t.q)
 let try_push t v =
   Mutex.protect t.lock (fun () ->
       let depth = Queue.length t.q in
-      if depth >= t.capacity then begin
+      let injected =
+        match Failpoint.check "queue.admit" with
+        | Some Failpoint.Fail -> true
+        | Some (Failpoint.Delay _) | Some Failpoint.Interrupt | None -> false
+      in
+      if injected then begin
+        t.rejected <- t.rejected + 1;
+        Error.fail ~layer:"queue" ~code:Error.Capacity
+          ~context:
+            [
+              ("depth", string_of_int depth);
+              ("capacity", string_of_int t.capacity);
+              ("injected", "true");
+            ]
+          "queue full; request rejected"
+      end
+      else if depth >= t.capacity then begin
         t.rejected <- t.rejected + 1;
         Error.fail ~layer:"queue" ~code:Error.Capacity
           ~context:
@@ -60,6 +76,8 @@ let try_push t v =
         if depth + 1 > t.max_depth then t.max_depth <- depth + 1;
         Ok ()
       end)
+
+let peek_opt t = Mutex.protect t.lock (fun () -> Queue.peek_opt t.q)
 
 let pop_opt t =
   Mutex.protect t.lock (fun () ->

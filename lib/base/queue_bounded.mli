@@ -26,6 +26,11 @@ val try_push : 'a t -> 'a -> (unit, Error.t) result
 (** Admit one item, or fail with a typed [Capacity] error carrying the
     queue's depth and capacity — never blocks, never drops silently. *)
 
+val peek_opt : 'a t -> 'a option
+(** The oldest item without removing it, [None] when empty. The serving
+    layer uses this for dwell-based shedding: the head's age bounds the
+    head-of-line blocking every later item will suffer. *)
+
 val pop_opt : 'a t -> 'a option
 (** Remove and return the oldest item, [None] when empty. *)
 

@@ -607,6 +607,20 @@ let run ?machine ?recovery ?pool ?kernel_mode g b =
             noise_seed = Some 42;
           }
   in
+  (* Consulted before the first task dispatches, so the machine is
+     untouched when the injected fault surfaces — retrying the whole
+     program is stream-safe. *)
+  let* () =
+    match Promise_core.Failpoint.check "runtime.run" with
+    | Some Promise_core.Failpoint.Fail ->
+        E.fail ~layer:"runtime" ~code:E.Fault
+          ~context:[ ("injected", "true") ]
+          "injected runtime fault"
+    | Some (Promise_core.Failpoint.Delay ns) ->
+        Promise_core.Clock.sleep_ms (Int64.to_float ns /. 1e6);
+        Ok ()
+    | Some Promise_core.Failpoint.Interrupt | None -> Ok ()
+  in
   let counters = { c_retries = 0; c_fallbacks = 0; c_canary_failures = 0 } in
   let order = Graph.topological_order g in
   let outputs = Hashtbl.create 8 in

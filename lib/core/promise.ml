@@ -121,6 +121,7 @@ module Supervisor = Promise_core.Supervisor
 module Ipc = Promise_core.Ipc
 module Fleet = Promise_core.Fleet
 module Validate = Promise_core.Validate
+module Failpoint = Promise_core.Failpoint
 module Benchmarks = Benchmarks
 module Report = Report
 module Validation = Validation
@@ -168,6 +169,22 @@ let check_env () =
       Result.map ignore
         (Promise_core.Validate.env_int ~name:"PROMISE_SERVE_FLUSH_US" ~min:1
            ~max:10_000_000);
+      Result.map ignore
+        (Promise_core.Validate.env_int
+           ~name:"PROMISE_SERVE_BREAKER_THRESHOLD" ~min:1 ~max:10_000);
+      Result.map ignore
+        (Promise_core.Validate.env_int ~name:"PROMISE_SERVE_DWELL_BUDGET_US"
+           ~min:1 ~max:10_000_000);
+      (match Sys.getenv_opt "PROMISE_FAILPOINTS" with
+      | None -> Ok ()
+      | Some s ->
+          Result.map ignore (Promise_core.Failpoint.parse_spec s)
+          |> Result.map_error (fun (e : Promise_core.Error.t) ->
+                 {
+                   e with
+                   Promise_core.Error.context =
+                     ("flag", "PROMISE_FAILPOINTS") :: e.Promise_core.Error.context;
+                 }));
     ]
 
 (** [version]. *)

@@ -95,6 +95,10 @@ val create :
   ?pool:Promise_core.Pool.t ->
   ?deadline_ms:float ->
   ?mode:mode ->
+  ?self_heal:bool ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_ms:float ->
+  ?dwell_budget_us:int ->
   queue:int ->
   batch_max:int ->
   flush_us:int ->
@@ -110,14 +114,34 @@ val create :
     [Timeout] incident) instead of being served stale. [clock] is the
     monotonic ns source (injectable for tests); [mode] defaults to
     {!Batched}. Typed [Invalid_operand] on out-of-range knobs or
-    duplicate model names. *)
+    duplicate model names.
+
+    Self-healing (on by default, [self_heal:false] restores the PR-8
+    fail-the-batch behavior): a hardware [Fault] during a flush walks
+    the degradation ladder — destructive BIST + quarantine via
+    {!Promise_compiler.Runtime.recovery_of_report}, data-image refill,
+    retry on the analog primary, then a digital fallback twin
+    (reference kernels on a bit-for-bit rebuilt machine) — so requests
+    only fail if the digital rung fails too. A per-model circuit
+    breaker trips after [breaker_threshold] (default
+    {!default_breaker_threshold}) consecutive batch failures: flushes
+    then answer typed [Overloaded] (+ retry-after hint) for
+    [breaker_cooldown_ms] (default 100) without touching the machine,
+    after which one half-open probe batch decides close vs re-open.
+    [dwell_budget_us] (default {!default_dwell_budget_us}) arms
+    dwell-based overload shedding at {!submit}. Every breaker/BIST/
+    degradation transition is recorded in the incident log. *)
 
 val submit : t -> rid:int -> model:string -> (unit, Promise_core.Error.t) result
 (** Offer one request. [Error] with [Capacity] when the queue is full
     (an [Admission_reject] incident is logged; the caller answers the
-    client) or [Invalid_operand] for an unknown model — rejected at
-    admission so the queue only ever holds dispatchable work. [Ok ()]
-    guarantees exactly one later {!outcome} for [rid]. *)
+    client), [Overloaded] when a dwell budget is armed and the inbox
+    head has already waited longer than it (shedding {e before} the
+    queue is physically full — admitting more would only manufacture
+    timeouts; the error context carries a [retry-after-ms] hint), or
+    [Invalid_operand] for an unknown model — rejected at admission so
+    the queue only ever holds dispatchable work. [Ok ()] guarantees
+    exactly one later {!outcome} for [rid]. *)
 
 val pump : t -> unit
 (** Drain the admission queue into the per-model pending sets, flushing
@@ -142,6 +166,9 @@ type stats = {
   timeouts : int;  (** watchdog-expired requests *)
   failures : int;  (** dispatch failures surfaced as per-request errors *)
   batches : int;  (** dispatched batches *)
+  shed : int;  (** typed [Overloaded] outcomes (dwell shed + breaker open) *)
+  healed : int;  (** batches recovered on the primary after BIST + refill *)
+  fallback_batches : int;  (** batches served by the digital twin *)
   queue : Promise_core.Queue_bounded.stats;
   latency_ns : Promise_core.Histogram.t;  (** admission → response *)
   batch_sizes : Promise_core.Histogram.t;  (** decisions per dispatched batch *)
@@ -164,6 +191,13 @@ val default_batch_max : unit -> int
 
 val default_flush_us : unit -> int
 (** [PROMISE_SERVE_FLUSH_US], default 2000 (2 ms) *)
+
+val default_breaker_threshold : unit -> int
+(** [PROMISE_SERVE_BREAKER_THRESHOLD], default 8 (range 1..10000) *)
+
+val default_dwell_budget_us : unit -> int option
+(** [PROMISE_SERVE_DWELL_BUDGET_US]; [None] (shedding disabled) when
+    unset *)
 
 (** {2 The socket daemon} *)
 
@@ -191,6 +225,8 @@ val daemon :
   ?pool:Promise_core.Pool.t ->
   ?deadline_ms:float ->
   ?mode:mode ->
+  ?breaker_threshold:int ->
+  ?dwell_budget_us:int ->
   queue:int ->
   batch_max:int ->
   flush_us:int ->
@@ -226,7 +262,65 @@ val probe :
     [connect_timeout_ms], default 10 s — the daemon may still be
     binding), pipeline [requests] (default 8) requests for [model] on
     one connection, and collect every response. An error reply counts
-    in [p_rejected]; transport errors are typed. *)
+    in [p_rejected]; transport errors are typed. A daemon that closes
+    the connection mid-pipeline is reported {e immediately} as a typed
+    error whose context says how many replies arrived before the close
+    ([replies-before-close]/[missing]) — never mistaken for a hang —
+    and [SIGPIPE] is ignored for the probe's duration so a write to the
+    closed socket surfaces as a typed error too. *)
+
+(** {2 The chaos soak} *)
+
+type chaos_report = {
+  c_requests : int;  (** offered by the seeded arrival process *)
+  c_admitted : int;  (** accepted into the queue *)
+  c_served : int;
+  c_timeouts : int;
+  c_failed : int;  (** typed non-timeout, non-overload failures *)
+  c_shed : int;  (** [Overloaded] outcomes (dwell / breaker-open) *)
+  c_rejected : int;  (** refused at submit (capacity or admit fault) *)
+  c_lost : int;  (** admitted but never answered — must be 0 *)
+  c_multi : int;  (** answered more than once — must be 0 *)
+  c_healed : int;
+  c_fallback_batches : int;
+  c_breaker_opens : int;
+  c_survivors_checked : int;
+      (** served requests compared bitwise against a fault-free twin *)
+  c_survivor_mismatches : int;  (** must be 0 *)
+  c_ipc_faults : int;  (** typed truncation errors on the response echo *)
+  c_checkpoint_failures : int;  (** injected fsync failures, all typed *)
+  c_sink_degraded : int;  (** [Sink_degraded] recovery markers in the log *)
+  c_events : string;
+      (** canonical incident transcript: every logged incident with the
+          wall-clock prefix stripped, plus a summary line — two soaks
+          with the same seed must produce byte-identical [c_events] *)
+}
+
+val chaos_run :
+  ?seed:int ->
+  ?requests:int ->
+  incident_path:string ->
+  checkpoint_path:string ->
+  model:(unit -> model) ->
+  unit ->
+  (chaos_report, Promise_core.Error.t) result
+(** Soak the whole service path under a seeded failure storm, on a
+    virtual clock so every run with the same [seed] replays the same
+    schedule: base failpoints on IPC/checkpoint/incident/admission/
+    flush, plus a storm keyed to arrival progress (so every phase
+    overlaps live traffic whatever the seed draws) — one transient
+    analog fault at 5% of the offered load (BIST clean → retry →
+    healed in place), a bank death at
+    15% of the offered load (heal ladder → BIST → digital fallback),
+    revival at 40% (reprobe → analog-restored), a dispatcher stall
+    through [50%, 65%) (dwell shedding and watchdog timeouts), and a
+    machine-level blackout through [75%, 90%) that defeats the digital
+    rung too, tripping the circuit breaker.
+    Invariants checked and reported: exactly one outcome per admitted
+    request ([c_lost] = [c_multi] = 0), no crash (any error is typed),
+    and every served value bitwise equal to a fault-free twin run
+    ([c_survivor_mismatches] = 0). The failpoint registry is reset on
+    exit. *)
 
 (** {2 The self-test load generator} *)
 

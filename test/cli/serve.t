@@ -32,11 +32,40 @@ error reply — the daemon stays alive and still answers.
   [124]
   $ wait
 
+A daemon that loses a reply mid-pipeline (here: one injected
+response-write failure) leaves the probe facing a closed connection;
+the typed error accounts exactly how many replies arrived before the
+close.
+
+  $ promise_serve --listen /tmp/serve-close.$$ --max-requests 8 --failpoints ipc.write:fail_once 2>/dev/null &
+  $ promise_serve --probe /tmp/serve-close.$$ --requests 8 2>&1
+  promise-serve: serve: daemon closed the connection mid-pipeline [replies-before-close=7, missing=1]
+  [124]
+  $ wait
+
+The chaos soak replays a seeded failure storm on a virtual clock:
+deterministic counters, invariants gated in-process, and a canonical
+incident transcript that is byte-identical for the same seed.
+
+  $ promise_serve --chaos --seed 42 --incidents inc_a.jsonl --events ev_a.txt 2>/dev/null
+  chaos: model=matched_filter seed=42 requests=240
+  chaos: admitted=207 served=153 timeouts=13 failed=20 shed=21 rejected=33
+  chaos: healed=1 fallback_batches=20 breaker_opens=1 sink_degraded=2
+  chaos: lost=0 multi=0 survivors=153 mismatches=0
+  chaos: invariants hold
+
+  $ promise_serve --chaos --seed 42 --incidents inc_b.jsonl --events ev_b.txt >/dev/null 2>&1
+  $ cmp ev_a.txt ev_b.txt && echo byte-identical
+  byte-identical
+
+  $ grep -c '"kind":"breaker","model":"matched_filter","state":"open"' ev_a.txt
+  1
+
 Validation: exactly one entry point, range-checked knobs, and loud
 PROMISE_SERVE_* environment checking before any work.
 
   $ promise_serve
-  promise-serve: pick exactly one of --listen PATH, --probe PATH, --selftest-load
+  promise-serve: pick exactly one of --listen PATH, --probe PATH, --selftest-load, --chaos
   [124]
 
   $ promise_serve --selftest-load --batch-max 0 2>&1 | tail -1
@@ -58,4 +87,23 @@ PROMISE_SERVE_* environment checking before any work.
 
   $ PROMISE_SERVE_QUEUE=zero promise_serve --selftest-load
   promise-serve: cli: expected an integer [flag=PROMISE_SERVE_QUEUE, value=zero]
+  [124]
+
+  $ PROMISE_SERVE_BREAKER_THRESHOLD=0 promise_serve --selftest-load
+  promise-serve: cli: must be in 1..10000 [flag=PROMISE_SERVE_BREAKER_THRESHOLD, value=0]
+  [124]
+
+  $ PROMISE_SERVE_DWELL_BUDGET_US=abc promise_serve --selftest-load
+  promise-serve: cli: expected an integer [flag=PROMISE_SERVE_DWELL_BUDGET_US, value=abc]
+  [124]
+
+A malformed failpoint spec — environment or flag — fails loudly before
+any work, naming the clause.
+
+  $ PROMISE_FAILPOINTS=bogus promise_serve --selftest-load
+  promise-serve: failpoint: expected site:policy [flag=PROMISE_FAILPOINTS, clause=bogus]
+  [124]
+
+  $ promise_serve --selftest-load --failpoints ipc.read:explode
+  promise-serve: failpoint: expected off, fail_once, eintr, fail_prob=P or delay_ns=N [clause=ipc.read:explode, policy=explode]
   [124]

@@ -402,6 +402,11 @@ let test_env_validation () =
       ("PROMISE_SERVE_BATCH", "abc", "4096");
       ("PROMISE_SERVE_FLUSH_US", "0", "2000");
       ("PROMISE_SERVE_FLUSH_US", "10000001", "1");
+      ("PROMISE_SERVE_BREAKER_THRESHOLD", "0", "8");
+      ("PROMISE_SERVE_BREAKER_THRESHOLD", "10001", "1");
+      ("PROMISE_SERVE_DWELL_BUDGET_US", "abc", "3000");
+      ("PROMISE_FAILPOINTS", "bogus", "ipc.read:fail_prob=0.1");
+      ("PROMISE_FAILPOINTS", "ipc.read:fail_prob=2", "serve.flush:off");
     ]
 
 let () =
