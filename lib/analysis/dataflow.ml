@@ -1,0 +1,116 @@
+module Ssa = Promise_ir.Ssa
+module Graph = Promise_ir.Graph
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+type graph = { n : int; succs : int -> int list; preds : int -> int list }
+
+let of_sequence n =
+  {
+    n;
+    succs = (fun i -> if i + 1 < n then [ i + 1 ] else []);
+    preds = (fun i -> if i > 0 then [ i - 1 ] else []);
+  }
+
+let of_ssa (f : Ssa.func) =
+  let blocks = Array.of_list f.Ssa.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i b -> Hashtbl.replace index b.Ssa.label i) blocks;
+  let succs_arr = Array.make n [] in
+  let preds_arr = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let targets =
+        match b.Ssa.terminator with
+        | Ssa.Br l -> [ l ]
+        | Ssa.Cond_br { if_true; if_false; _ } -> [ if_true; if_false ]
+        | Ssa.Ret _ -> []
+      in
+      (* unknown labels are P-SSA-004 territory, not ours to crash on *)
+      let tgt_ids = List.filter_map (Hashtbl.find_opt index) targets in
+      succs_arr.(i) <- tgt_ids;
+      List.iter (fun j -> preds_arr.(j) <- preds_arr.(j) @ [ i ]) tgt_ids)
+    blocks;
+  ( { n; succs = (fun i -> succs_arr.(i)); preds = (fun i -> preds_arr.(i)) },
+    blocks )
+
+let of_task_graph g =
+  {
+    n = Graph.n_tasks g;
+    succs = (fun i -> List.map fst (Graph.successors g i));
+    preds = (fun i -> List.map fst (Graph.predecessors g i));
+  }
+
+module Make (L : LATTICE) = struct
+  type result = { entry : L.t array; exit : L.t array }
+
+  let solve ?(init = fun _ -> L.bottom) ~direction ~graph ~transfer () =
+    let n = graph.n in
+    let entry = Array.make n L.bottom in
+    let exit = Array.make n L.bottom in
+    (* In the flow direction: [before] is the joined incoming fact,
+       [after] = transfer before. Forward maps (before, after) onto
+       (entry, exit); backward onto (exit, entry). *)
+    let incoming, dependents =
+      match direction with
+      | Forward -> (graph.preds, graph.succs)
+      | Backward -> (graph.succs, graph.preds)
+    in
+    let before, after =
+      match direction with
+      | Forward -> (entry, exit)
+      | Backward -> (exit, entry)
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let push i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    (* seed in flow order so the first sweep already propagates far *)
+    (match direction with
+    | Forward ->
+        for i = 0 to n - 1 do
+          push i
+        done
+    | Backward ->
+        for i = n - 1 downto 0 do
+          push i
+        done);
+    (* Defensive cap: a finite-height lattice over this graph converges
+       in O(n · height) steps; anything past a generous multiple means
+       a non-monotone transfer or an infinite-height lattice. *)
+    let fuel = ref (max 4096 (n * n * 16)) in
+    while not (Queue.is_empty queue) do
+      decr fuel;
+      if !fuel < 0 then
+        invalid_arg
+          "Dataflow.solve: no fixpoint (non-monotone transfer or \
+           infinite-height lattice?)";
+      let i = Queue.take queue in
+      queued.(i) <- false;
+      let inc =
+        match incoming i with
+        | [] -> init i
+        | js -> List.fold_left (fun acc j -> L.join acc after.(j)) L.bottom js
+      in
+      before.(i) <- inc;
+      let out = transfer i inc in
+      if not (L.equal out after.(i)) then begin
+        after.(i) <- out;
+        List.iter push (dependents i)
+      end
+    done;
+    { entry; exit }
+end

@@ -1,0 +1,61 @@
+(** Generic worklist fixpoint solver — the shared engine of the lint
+    passes (liveness, X-REG pressure, the interval re-host).
+
+    A client supplies a join-semilattice of facts, a flow graph over
+    integer node ids (SSA CFG blocks, AbstractTask graph nodes, or
+    Task-stream indices), a direction and a monotone transfer
+    function; the solver iterates to the least fixpoint and returns
+    the fact at each node's entry and exit.
+
+    Conventions (independent of direction):
+    - [entry.(i)] is the fact holding {e before} node [i] in program
+      order, [exit.(i)] the fact holding {e after} it.
+    - Forward: [entry = join over predecessors' exit] (or [init] at
+      nodes with no predecessor), [exit = transfer entry].
+    - Backward: [exit = join over successors' entry] (or [init] at
+      nodes with no successor), [entry = transfer exit].
+
+    The lattice must have finite height (or the graph must be acyclic,
+    as the AbstractTask DAG is for the interval environment lattice);
+    a defensive iteration cap turns a diverging analysis into
+    [Invalid_argument] instead of a hang. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+(** A flow graph over node ids [0 .. n-1]. *)
+type graph = { n : int; succs : int -> int list; preds : int -> int list }
+
+val of_sequence : int -> graph
+(** Straight-line graph of [n] nodes ([i -> i+1]) — the Task-stream
+    shape used by the Task-level passes. *)
+
+val of_ssa : Promise_ir.Ssa.func -> graph * Promise_ir.Ssa.block array
+(** CFG over the function's blocks (indexed in declaration order,
+    entry first), with the block array for indexed access. Branches to
+    unknown labels are ignored (the SSA validator reports those). *)
+
+val of_task_graph : Promise_ir.Graph.t -> graph
+(** The AbstractTask DAG, ports dropped. *)
+
+module Make (L : LATTICE) : sig
+  type result = { entry : L.t array; exit : L.t array }
+
+  val solve :
+    ?init:(int -> L.t) ->
+    direction:direction ->
+    graph:graph ->
+    transfer:(int -> L.t -> L.t) ->
+    unit ->
+    result
+  (** Least fixpoint by worklist iteration. [init] seeds the boundary
+      fact at entry nodes (forward) or exit nodes (backward); default
+      [L.bottom]. [transfer i fact] must be monotone in [fact]. *)
+end

@@ -2,12 +2,21 @@
     [--lint] flags of the other CLIs, and the test suite.
 
     A {!report} is one lint target (a [.pasm] file, a DSL kernel, a
-    benchmark) with its sorted diagnostics. *)
+    benchmark) with its sorted, deduplicated diagnostics. On top of
+    the raw reports the driver implements the lint policy layer:
+    warning promotion ([--deny]), warning budgets ([--max-warnings]),
+    fingerprint baselines ([--baseline]) and the text/JSON/SARIF
+    renderers. *)
 
 type report = { target : string; diags : Promise_core.Diag.t list }
 
+val dedupe : Promise_core.Diag.t list -> Promise_core.Diag.t list
+(** Sort (span, then code, then severity) and drop structural
+    duplicates — the byte-reproducible order cram and baseline diffs
+    depend on. *)
+
 val make : target:string -> Promise_core.Diag.t list -> report
-(** Sorts the diagnostics. *)
+(** Sorts and dedupes the diagnostics. *)
 
 val lint_pasm : target:string -> string -> report
 (** Parse assembly source and run the whole-program ISA verifier; a
@@ -18,12 +27,32 @@ val warnings : report -> int
 val total_errors : report list -> int
 val total_warnings : report list -> int
 
-val exit_code : report list -> int
-(** 0 when no error-severity diagnostics (warnings allowed), 1
-    otherwise. CLI usage/IO failures use exit code 2 on top of this. *)
+val exit_code : ?max_warnings:int -> report list -> int
+(** 0 when no error-severity diagnostics and the warning count is
+    within [max_warnings] (unlimited when omitted), 1 otherwise. CLI
+    usage/IO failures use exit code 2 on top of this. *)
 
 val summary : report list -> string
 (** One line: ["N error(s), M warning(s) in K target(s)"]. *)
+
+val apply_deny : deny:string list -> report list -> report list
+(** Promote every warning whose code starts with one of the [deny]
+    prefixes (e.g. ["P-TIM"]) to an error. *)
+
+val fingerprint : report -> Promise_core.Diag.t -> string
+(** {!Promise_core.Diag.fingerprint} salted with the report target. *)
+
+val baseline_of_reports : report list -> string
+(** The baseline JSON ([{"version":1,"fingerprints":[…]}]) covering
+    every current diagnostic — what [--write-baseline] emits. *)
+
+val parse_baseline : string -> (string list, string) result
+(** Read a baseline file's fingerprint list. *)
+
+val apply_baseline :
+  baseline:string list -> report list -> report list * int
+(** Drop every diagnostic whose fingerprint is in the baseline;
+    returns the filtered reports and the suppressed count. *)
 
 val render_text : report -> string
 (** One line per diagnostic, prefixed with the target; ["<target>:
@@ -32,3 +61,8 @@ val render_text : report -> string
 val render_json : report list -> string
 (** A single JSON object with a summary and per-target diagnostics —
     the CI artifact format. *)
+
+val render_sarif : ?tool_version:string -> report list -> string
+(** SARIF 2.1.0 with one run; each result carries its rule id, level,
+    location and the fingerprint under
+    [partialFingerprints.promiseLint/v1]. *)

@@ -79,6 +79,38 @@ let sort ds =
         else compare (severity_rank b.severity) (severity_rank a.severity))
     ds
 
+(* ---- Fingerprints ----
+
+   A fingerprint identifies "the same diagnostic" across lint runs for
+   baseline suppression: the stable code, the span, and the message
+   *skeleton* (digit runs collapsed to '#', so a bound that moves from
+   [0, 159] to [0, 161] keeps its identity while a different code or a
+   different span does not). Hashed with the stdlib Digest (MD5) and
+   truncated to 16 hex characters — collision space is per-target
+   diagnostic sets, tiny. *)
+
+let skeleton msg =
+  let buf = Buffer.create (String.length msg) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+          if not !in_digits then Buffer.add_char buf '#';
+          in_digits := true
+      | c ->
+          in_digits := false;
+          Buffer.add_char buf c)
+    msg;
+  Buffer.contents buf
+
+let fingerprint ?(salt = "") t =
+  let key =
+    String.concat "\x00"
+      [ salt; t.code; span_to_string t.span; skeleton t.message ]
+  in
+  String.sub (Digest.to_hex (Digest.string key)) 0 16
+
 let to_error ~layer t =
   let span_ctx =
     match span_to_string t.span with "" -> [] | s -> [ ("span", s) ]

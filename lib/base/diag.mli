@@ -64,6 +64,18 @@ val sort : t list -> t list
 (** Stable report order: span position, then code, then severity
     (errors before warnings at the same position). *)
 
+val skeleton : string -> string
+(** Message skeleton: every run of decimal digits collapses to ['#'],
+    so messages differing only in numeric payload (bounds, cycle
+    counts) share an identity. *)
+
+val fingerprint : ?salt:string -> t -> string
+(** Stable 16-hex-char identity of a diagnostic — MD5 of
+    [salt × code × span × message skeleton] — used by the lint
+    baseline ([promise-lint --baseline]) and the SARIF
+    [partialFingerprints]. The driver salts with the target name so
+    the same diagnostic in two files stays distinguishable. *)
+
 val to_error : layer:string -> t -> Error.t
 (** Lift into the typed error channel ([Invalid_operand], with the
     diagnostic code and span in the context) so pipelines fail closed. *)

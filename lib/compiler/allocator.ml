@@ -115,7 +115,31 @@ let plan ?excluded ~total_banks tasks =
     let pipelined_interval =
       List.fold_left (fun acc level -> max acc (level_span level)) 1 levels
     in
-    Ok { assignments; banks_used = peak; makespan; pipelined_interval }
+    let plan = { assignments; banks_used = peak; makespan; pipelined_interval } in
+    (* Fail closed: re-verify the placement from first principles with
+       the analysis-side interference check — two cycle-overlapping
+       assignments sharing a bank would silently corrupt both weight
+       sets, so a packing bug must surface as a lint error here, not
+       as wrong numbers downstream. *)
+    let* () =
+      match
+        Promise_analysis.Regpressure.check_allocation
+          (List.mapi
+             (fun index a ->
+               {
+                 Promise_analysis.Regpressure.index;
+                 level = a.level;
+                 first_bank = a.first_bank;
+                 banks = Task.banks a.task;
+                 start_cycle = a.start_cycle;
+                 finish_cycle = a.finish_cycle;
+               })
+             plan.assignments)
+      with
+      | [] -> Ok ()
+      | d :: _ -> Error (Promise_core.Diag.render d)
+    in
+    Ok plan
   end
 
 let of_program ?excluded ~total_banks ~levels (program : Program.t) =

@@ -157,7 +157,9 @@ let compile_uncached kernel =
   let* () =
     match
       Promise_core.Diag.first_error
-        (Promise_analysis.Ssa_check.validate ssa)
+        (Promise_analysis.Ssa_check.validate ssa
+        @ Promise_analysis.Liveness.check ssa
+        @ Promise_analysis.Regpressure.check_function ssa)
     with
     | Some d -> Error (Promise_core.Diag.to_error ~layer:"frontend" d)
     | None -> Ok ()
@@ -180,7 +182,21 @@ let optimize ?guard_bits g ~stats ~pm =
 
 let codegen g =
   Cache.memo Cache.codegen_tbl (Cache.digest g) (fun () ->
-      Lower.program_of_graph g)
+      let* program = Lower.program_of_graph g in
+      (* Fail closed on the Task stream too: a shadowed X-REG store or
+         an analog dwell past the leakage budget is a codegen bug, not
+         a program to hand the machine. *)
+      let* () =
+        let tasks = program.Promise_isa.Program.tasks in
+        match
+          Promise_core.Diag.first_error
+            (Promise_analysis.Liveness.check_program tasks
+            @ Promise_analysis.Timing_check.check_program tasks)
+        with
+        | Some d -> Error (Promise_core.Diag.to_error ~layer:"compiler" d)
+        | None -> Ok ()
+      in
+      Ok program)
 
 type report = {
   graph : Promise_ir.Graph.t;

@@ -76,9 +76,13 @@ module Ir = struct
 end
 
 module Analysis = struct
+  module Dataflow = Promise_analysis.Dataflow
   module Ssa_check = Promise_analysis.Ssa_check
   module Isa_check = Promise_analysis.Isa_check
   module Interval = Promise_analysis.Interval
+  module Liveness = Promise_analysis.Liveness
+  module Regpressure = Promise_analysis.Regpressure
+  module Timing_check = Promise_analysis.Timing_check
   module Lint = Promise_analysis.Driver
 end
 
@@ -175,6 +179,40 @@ let check_env () =
       Result.map ignore
         (Promise_core.Validate.env_int ~name:"PROMISE_SERVE_DWELL_BUDGET_US"
            ~min:1 ~max:10_000_000);
+      (* PROMISE_LINT_BASELINE: when set, the default --baseline for
+         promise-lint — must name a readable file. *)
+      (match Sys.getenv_opt "PROMISE_LINT_BASELINE" with
+      | None | Some "" -> Ok ()
+      | Some path ->
+          if Sys.file_exists path && not (Sys.is_directory path) then Ok ()
+          else
+            Promise_core.Error.fail ~layer:"cli"
+              ~code:Promise_core.Error.Invalid_operand
+              ~context:[ ("flag", "PROMISE_LINT_BASELINE"); ("path", path) ]
+              "baseline file does not exist");
+      (* PROMISE_LINT_DENY: comma-separated diagnostic-code prefixes
+         promoted from warning to error (e.g. "P-OVF,P-TIM"). *)
+      (match Sys.getenv_opt "PROMISE_LINT_DENY" with
+      | None | Some "" -> Ok ()
+      | Some spec ->
+          Promise_core.Validate.all
+            (List.map
+               (fun prefix ->
+                 let ok =
+                   prefix <> ""
+                   && String.for_all
+                        (function
+                          | 'A' .. 'Z' | '0' .. '9' | '-' -> true | _ -> false)
+                        prefix
+                 in
+                 if ok then Ok ()
+                 else
+                   Promise_core.Error.fail ~layer:"cli"
+                     ~code:Promise_core.Error.Invalid_operand
+                     ~context:
+                       [ ("flag", "PROMISE_LINT_DENY"); ("prefix", prefix) ]
+                     "deny prefixes are uppercase code prefixes like P-TIM")
+               (String.split_on_char ',' (String.trim spec))));
       (match Sys.getenv_opt "PROMISE_FAILPOINTS" with
       | None -> Ok ()
       | Some s ->

@@ -66,3 +66,80 @@ The compile and assemble drivers expose the same passes behind
 
   $ promise_asm validate bad.pasm --lint --no-lint
   3 task(s) valid; program uses up to 1 bank(s)
+
+The Task-level dataflow passes run on assembly too: a shadowed X-REG
+store (a later store lands before any X read) is P-DCE-002 on the
+source line of the dead store.
+
+  $ cat > shadow.pasm <<'PASM'
+  > task c1=aREAD c2=square.avd c3=ADC c4=sigmoid des=xreg
+  > task c1=aREAD c2=square.avd c3=ADC c4=sigmoid des=xreg
+  > task c1=aADD c2=none.avd c3=ADC c4=accumulate acc=0 xprd=0
+  > PASM
+  $ promise_lint shadow.pasm
+  shadow.pasm: error[P-DCE-002] line 1: X-REG store is overwritten by a later store before any Task reads an X operand (shadowed write)
+  1 error(s), 0 warning(s) in 1 target(s)
+  [1]
+
+The timing pass models a degraded ADC complement with --adc-units: a
+128-iteration accumulation on one surviving unit dwells past the
+~47 ns leakage budget (P-TIM-001), and the conversion cadence outruns
+the unit (P-TIM-003).
+
+  $ cat > slow.pasm <<'PASM'
+  > task c1=aREAD c2=square.avd c3=ADC c4=accumulate rpt=127
+  > PASM
+  $ promise_lint slow.pasm
+  slow.pasm: clean
+  0 error(s), 0 warning(s) in 1 target(s)
+  $ promise_lint slow.pasm --adc-units 1
+  slow.pasm: error[P-TIM-001] line 1: analog accumulation dwells 130 cycles (130.0 ns) before its ADC read but the leakage budget is 47.4 ns (2.3% full-scale droop): the held samples decay below 8-bit precision
+  slow.pasm: warning[P-TIM-003] line 1: with 1 of 8 ADC units alive, conversions arrive every 8 cycles but 1 units cover only one per 138: the pipeline stalls and held samples droop
+  1 error(s), 1 warning(s) in 1 target(s)
+  [1]
+
+Exit-code policy: warnings pass by default, --max-warnings bounds
+them, and --deny promotes matching warnings to errors.
+
+  $ cat > warn.pasm <<'PASM'
+  > task c1=aREAD c2=square.avd c3=ADC c4=accumulate
+  > PASM
+  $ promise_lint warn.pasm --adc-units 2
+  warn.pasm: warning[P-TIM-003] line 1: with 2 of 8 ADC units alive, conversions arrive every 8 cycles but 2 units cover only one per 69: the pipeline stalls and held samples droop
+  0 error(s), 1 warning(s) in 1 target(s)
+  $ promise_lint warn.pasm --adc-units 2 --max-warnings 0
+  warn.pasm: warning[P-TIM-003] line 1: with 2 of 8 ADC units alive, conversions arrive every 8 cycles but 2 units cover only one per 69: the pipeline stalls and held samples droop
+  0 error(s), 1 warning(s) in 1 target(s)
+  [1]
+  $ promise_lint warn.pasm --adc-units 2 --deny P-TIM
+  warn.pasm: error[P-TIM-003] line 1: with 2 of 8 ADC units alive, conversions arrive every 8 cycles but 2 units cover only one per 69: the pipeline stalls and held samples droop
+  1 error(s), 0 warning(s) in 1 target(s)
+  [1]
+
+--write-baseline records fingerprints; --baseline suppresses exactly
+those diagnostics (and only those) on later runs. The fingerprint is
+deterministic: target x code x span x digit-insensitive message.
+
+  $ promise_lint warn.pasm --adc-units 2 --write-baseline base.json
+  wrote baseline (1 diagnostic(s)) to base.json
+  $ cat base.json
+  {"version":1,"fingerprints":["804fb8064a34f465"]}
+  $ promise_lint warn.pasm --adc-units 2 --baseline base.json
+  warn.pasm: clean
+  0 error(s), 0 warning(s) in 1 target(s) (1 suppressed by baseline)
+
+PROMISE_LINT_BASELINE supplies the same default, and the environment
+is validated loudly (exit 2, not a silent ignore).
+
+  $ PROMISE_LINT_BASELINE=base.json promise_lint warn.pasm --adc-units 2
+  warn.pasm: clean
+  0 error(s), 0 warning(s) in 1 target(s) (1 suppressed by baseline)
+  $ PROMISE_LINT_DENY=p-tim promise_lint warn.pasm
+  cli: deny prefixes are uppercase code prefixes like P-TIM [flag=PROMISE_LINT_DENY, prefix=p-tim]
+  [2]
+
+--format sarif emits the CI code-scanning artifact, fingerprints under
+partialFingerprints.
+
+  $ promise_lint warn.pasm --adc-units 2 --format sarif
+  {"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"promise-lint","version":"1.0.0","rules":[{"id":"P-TIM-003"}]}},"results":[{"ruleId":"P-TIM-003","level":"warning","message":{"text":"with 2 of 8 ADC units alive, conversions arrive every 8 cycles but 2 units cover only one per 69: the pipeline stalls and held samples droop"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"warn.pasm"},"region":{"startLine":1}},"logicalLocations":[{"fullyQualifiedName":"line 1"}]}],"partialFingerprints":{"promiseLint/v1":"804fb8064a34f465"}}]}]}
